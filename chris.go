@@ -1,0 +1,167 @@
+// Package chris is the public façade of the CHRIS reproduction — the
+// Collaborative Heart Rate Inference System from "Energy-efficient
+// Wearable-to-Mobile Offload of ML Inference for PPG-based Heart-Rate
+// Estimation" (DATE 2023).
+//
+// The façade re-exports the pieces an application composes:
+//
+//   - the Models Zoo and its 60 operating configurations (Zoo, Config),
+//   - offline profiling on a labelled dataset (ProfileConfigs, Profile),
+//   - the decision engine with its constraint- and input-dependent
+//     selection stages (Engine, MAEConstraint, EnergyConstraint),
+//   - the calibrated hardware models of the paper's testbed (Platform),
+//   - the synthetic PPGDalia-like dataset (Dataset, Window, activities),
+//   - the three reference HR estimators (NewAT, NewTimePPGSmall,
+//     NewTimePPGBig) and the activity-recognition forest (TrainForest),
+//   - whole-system simulation (Simulate).
+//
+// See examples/quickstart for the three-call happy path: BuildPipeline →
+// Engine → Predict.
+package chris
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/eval"
+	"repro/internal/hw"
+	"repro/internal/hw/ble"
+	"repro/internal/hw/power"
+	"repro/internal/models"
+	"repro/internal/models/at"
+	"repro/internal/models/rf"
+	"repro/internal/models/tcn"
+	"repro/internal/sim"
+)
+
+// Core CHRIS types.
+type (
+	// HREstimator is the interface every zoo model implements.
+	HREstimator = models.HREstimator
+	// Zoo is the Models Zoo.
+	Zoo = core.Zoo
+	// Config is one operating configuration (model pair + threshold +
+	// execution target).
+	Config = core.Config
+	// Profile is a configuration with its measured MAE and energies.
+	Profile = core.Profile
+	// Engine is the two-stage decision engine.
+	Engine = core.Engine
+	// Constraint is a user bound on MAE or energy.
+	Constraint = core.Constraint
+	// Decision is the per-window dispatch outcome.
+	Decision = core.Decision
+	// WindowRecord feeds the offline profiler.
+	WindowRecord = core.WindowRecord
+	// Execution selects Local or Hybrid execution.
+	Execution = core.Execution
+)
+
+// Execution targets.
+const (
+	Local  = core.Local
+	Hybrid = core.Hybrid
+)
+
+// Dataset types.
+type (
+	// DatasetConfig controls the synthetic PPGDalia generator.
+	DatasetConfig = dalia.Config
+	// Dataset is the lazy cohort handle.
+	Dataset = dalia.Dataset
+	// Window is one 8-second analysis window.
+	Window = dalia.Window
+	// Activity is one of the nine protocol activities.
+	Activity = dalia.Activity
+)
+
+// Hardware types.
+type (
+	// Platform bundles the calibrated watch/phone/link/sensor models.
+	Platform = hw.System
+	// Energy in joules (power.Energy).
+	Energy = power.Energy
+	// ConnectivityTrace schedules BLE up/down events.
+	ConnectivityTrace = ble.ConnectivityTrace
+)
+
+// Re-exported constructors and functions.
+var (
+	// NewZoo builds a Models Zoo from estimators ordered worst→best.
+	NewZoo = core.NewZoo
+	// ProfileConfigs measures configurations over profiling records.
+	ProfileConfigs = core.ProfileConfigs
+	// ProfileConfig measures a single configuration.
+	ProfileConfig = core.ProfileConfig
+	// Pareto extracts the non-dominated configurations.
+	Pareto = core.Pareto
+	// FilterLocal keeps the configurations usable without BLE.
+	FilterLocal = core.FilterLocal
+	// NewEngine builds the decision engine.
+	NewEngine = core.NewEngine
+	// MAEConstraint bounds the expected error.
+	MAEConstraint = core.MAEConstraint
+	// EnergyConstraint bounds the expected watch energy.
+	EnergyConstraint = core.EnergyConstraint
+	// NewPlatform returns the paper-calibrated hardware models.
+	NewPlatform = hw.NewSystem
+	// NewDataset opens a synthetic cohort.
+	NewDataset = dalia.New
+	// DefaultDatasetConfig is the paper-faithful dataset configuration.
+	DefaultDatasetConfig = dalia.DefaultConfig
+	// SliceWindows cuts a recording into analysis windows.
+	SliceWindows = dalia.Windows
+	// BuildRecords runs the zoo and detector over windows once.
+	BuildRecords = eval.BuildRecords
+	// NewConnectivityTrace schedules link up/down toggles.
+	NewConnectivityTrace = ble.NewConnectivityTrace
+	// MilliJoules and MicroJoules build Energy values.
+	MilliJoules = power.MilliJoules
+	MicroJoules = power.MicroJoules
+)
+
+// NewAT returns the Adaptive Threshold estimator (the cheap classical
+// model).
+func NewAT() HREstimator { return at.New() }
+
+// NewTimePPGSmall returns an untrained TimePPG-Small network wrapped as an
+// estimator. Train it with TrainTimePPG or load cached weights.
+func NewTimePPGSmall() *tcn.HRNet { return tcn.NewEstimator(tcn.NewTimePPGSmall()) }
+
+// NewTimePPGBig returns an untrained TimePPG-Big network.
+func NewTimePPGBig() *tcn.HRNet { return tcn.NewEstimator(tcn.NewTimePPGBig()) }
+
+// TrainForest fits the activity-recognition Random Forest used as the
+// difficulty detector (8 trees, depth 5, the paper's 4 features).
+func TrainForest(ws []Window) (*rf.Classifier, error) {
+	return rf.Train(ws, rf.DefaultConfig())
+}
+
+// PipelineConfig sizes BuildPipeline. It is the experiment-harness
+// configuration re-exported.
+type PipelineConfig = bench.SuiteConfig
+
+// Pipeline is a fully assembled CHRIS deployment: dataset, trained models,
+// difficulty detector, profiled configurations and hardware models.
+type Pipeline = bench.Suite
+
+// DefaultPipelineConfig is the full-size pipeline (trains TCNs on first
+// use; caches under testdata/cache).
+func DefaultPipelineConfig() PipelineConfig { return bench.DefaultSuiteConfig() }
+
+// QuickPipelineConfig is a scaled-down pipeline that builds in seconds.
+func QuickPipelineConfig() PipelineConfig { return bench.QuickSuiteConfig() }
+
+// BuildPipeline assembles the full pipeline.
+func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) { return bench.NewSuite(cfg) }
+
+// Simulation re-exports.
+type (
+	// ScenarioConfig drives a whole-system simulation.
+	ScenarioConfig = sim.Config
+	// ScenarioResult aggregates a simulation run.
+	ScenarioResult = sim.Result
+)
+
+// Simulate runs a whole-system scenario.
+func Simulate(cfg ScenarioConfig) (ScenarioResult, error) { return sim.Run(cfg) }

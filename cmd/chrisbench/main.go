@@ -1,0 +1,74 @@
+// Command chrisbench regenerates every table and figure of the paper's
+// evaluation (Tables I-III, Figures 3-5, the BLE-down and RF-accuracy
+// claims, and the repository's ablations) from the synthetic pipeline.
+//
+// The first run trains the TimePPG networks and caches weights and
+// inference records under -cache; later runs are fast.
+//
+// Usage:
+//
+//	chrisbench [-quick] [-scale 0.06] [-subjects 15] [-epochs 10] [-cache dir] [-only T1,F4] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chrisbench: ")
+
+	quick := flag.Bool("quick", false, "use the scaled-down test pipeline")
+	scale := flag.Float64("scale", 0, "dataset duration scale (0 = config default)")
+	subjects := flag.Int("subjects", 0, "cohort size (0 = config default)")
+	epochs := flag.Int("epochs", 0, "TCN training epochs (0 = config default)")
+	cache := flag.String("cache", "", "cache directory (empty = config default)")
+	only := flag.String("only", "", "comma-separated artifact IDs to print (default all)")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	cfg := bench.DefaultSuiteConfig()
+	if *quick {
+		cfg = bench.QuickSuiteConfig()
+	}
+	if *scale > 0 {
+		cfg.DataScale = *scale
+	}
+	if *subjects > 0 {
+		cfg.Subjects = *subjects
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *cache != "" {
+		cfg.CacheDir = *cache
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...interface{}) { log.Printf(format, args...) }
+	}
+
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var want map[string]bool
+	if *only != "" {
+		want = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, a := range bench.Artifacts(suite) {
+		if want != nil && !want[a.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stdout, "==== %s (%s) ====\n%s\n", a.Title, a.ID, a.Text)
+	}
+}

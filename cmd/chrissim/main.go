@@ -1,0 +1,111 @@
+// Command chrissim runs whole-system scenarios on the CHRIS smartwatch
+// simulator: battery-life projections under a chosen constraint, and BLE
+// dropout traces with configuration re-selection.
+//
+// Usage:
+//
+//	chrissim [-quick] [-hours 24] [-mae 6.0] [-dropout 0] [-sensors] [-v]
+//
+// -dropout N cuts the link every N simulated seconds (down for N/4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hw/ble"
+	"repro/internal/hw/power"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chrissim: ")
+
+	quick := flag.Bool("quick", true, "use the scaled-down pipeline (fast)")
+	hours := flag.Float64("hours", 24, "simulated horizon in hours")
+	maeBound := flag.Float64("mae", 0, "MAE constraint in BPM (0 = use energy bound)")
+	energyBound := flag.Float64("energy", 0.3, "energy constraint in mJ when -mae is 0")
+	dropout := flag.Float64("dropout", 0, "link dropout period in seconds (0 = always up)")
+	sensors := flag.Bool("sensors", true, "charge the PPG/IMU front end")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	cfg := bench.DefaultSuiteConfig()
+	if *quick {
+		cfg = bench.QuickSuiteConfig()
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...interface{}) { log.Printf(format, args...) }
+	}
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := core.NewEngine(suite.Profiles, suite.Classifier)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	constraint := core.EnergyConstraint(power.MilliJoules(*energyBound))
+	if *maeBound > 0 {
+		constraint = core.MAEConstraint(*maeBound)
+	}
+
+	var trace *ble.ConnectivityTrace
+	if *dropout > 0 {
+		var toggles []float64
+		horizon := *hours * 3600
+		for t := *dropout; t < horizon; t += *dropout {
+			toggles = append(toggles, t, t+*dropout/4)
+		}
+		trace, err = ble.NewConnectivityTrace(true, toggles...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	bat := power.NewLiIon370()
+	res, err := sim.Run(sim.Config{
+		System:          suite.Sys,
+		Engine:          engine,
+		Constraint:      constraint,
+		Trace:           trace,
+		Windows:         suite.TestWindows,
+		DurationSeconds: *hours * 3600,
+		Battery:         bat,
+		IncludeSensors:  *sensors,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario: %.1f h, constraint %v, dropout %v s\n", *hours, constraint, *dropout)
+	fmt.Printf("active config:        %s\n", res.ActiveConfig)
+	fmt.Printf("predictions:          %d (skipped %d, link-down windows %d, reselections %d)\n",
+		res.Predictions, res.SkippedWindows, res.LinkDownWindows, res.Reselections)
+	fmt.Printf("offloaded:            %d (%.1f%%)\n", res.Offloaded, pct(res.Offloaded, res.Predictions))
+	fmt.Printf("simple-model runs:    %d (%.1f%%)\n", res.SimpleRuns, pct(res.SimpleRuns, res.Predictions))
+	fmt.Printf("field MAE:            %.2f BPM\n", res.MAE)
+	fmt.Printf("watch energy:         compute %v, radio %v, idle %v, sensors %v (total %v)\n",
+		res.Watch.Compute, res.Watch.Radio, res.Watch.Idle, res.Watch.Sensors, res.Watch.Total())
+	fmt.Printf("phone energy:         %v\n", res.PhoneEnergy)
+	fmt.Printf("battery drain:        %v (SoC %.1f%%)\n", res.BatteryDrain, res.FinalSoC*100)
+	if res.BatteryExhausted {
+		fmt.Printf("battery exhausted after %.1f h\n", res.SimulatedSeconds/3600)
+	} else if res.SimulatedSeconds > 0 {
+		avg := power.Power(float64(res.BatteryDrain) / res.SimulatedSeconds)
+		fmt.Printf("projected battery life: %.0f h at %v average\n",
+			power.NewLiIon370().LifetimeHours(avg), avg)
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

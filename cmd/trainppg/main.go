@@ -1,0 +1,93 @@
+// Command trainppg trains the TimePPG networks on the synthetic dataset,
+// reports their topology and accuracy, and saves the weights in the
+// format the experiment harness caches.
+//
+// Usage:
+//
+//	trainppg [-model small|big|both] [-scale 0.06] [-subjects 15] [-epochs 10] [-out dir] [-describe]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"repro/internal/dalia"
+	"repro/internal/models/tcn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trainppg: ")
+
+	model := flag.String("model", "both", "small, big or both")
+	scale := flag.Float64("scale", 0.06, "dataset duration scale")
+	subjects := flag.Int("subjects", 15, "cohort size")
+	trainN := flag.Int("train", 10, "training subjects (rest validate)")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	stride := flag.Int("stride", 2, "training window subsampling")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("out", "", "output directory for weights (empty = don't save)")
+	describe := flag.Bool("describe", false, "print topology summaries and exit")
+	flag.Parse()
+
+	if *describe {
+		fmt.Print(tcn.NewTimePPGSmall().Describe())
+		fmt.Print(tcn.NewTimePPGBig().Describe())
+		return
+	}
+
+	cfg := dalia.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Subjects = *subjects
+	cfg.DurationScale = *scale
+	ds, err := dalia.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trainW, valW []dalia.Window
+	for s := 0; s < *subjects; s++ {
+		ws, err := ds.SubjectWindows(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s < *trainN {
+			for i := 0; i < len(ws); i += *stride {
+				trainW = append(trainW, ws[i])
+			}
+		} else {
+			valW = append(valW, ws...)
+		}
+	}
+	trainS := tcn.WindowsToSamples(trainW)
+	valS := tcn.WindowsToSamples(valW)
+	log.Printf("train %d windows, validate %d", len(trainS), len(valS))
+
+	run := func(name string, build func() *tcn.Network) {
+		net := build()
+		net.InitWeights(*seed + 7)
+		tc := tcn.DefaultTrainConfig()
+		tc.Epochs = *epochs
+		tc.Seed = *seed + 13
+		tc.Progress = func(e int, l float64) { log.Printf("%s epoch %d loss %.4f", name, e, l) }
+		if _, err := tcn.Fit(net, trainS, tc); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: train MAE %.2f BPM, val MAE %.2f BPM",
+			name, tcn.Evaluate(net, trainS), tcn.Evaluate(net, valS))
+		if *out != "" {
+			path := filepath.Join(*out, name+".tcnw")
+			if err := tcn.Save(net, path); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved %s", path)
+		}
+	}
+	if *model == "small" || *model == "both" {
+		run(tcn.SmallName, tcn.NewTimePPGSmall)
+	}
+	if *model == "big" || *model == "both" {
+		run(tcn.BigName, tcn.NewTimePPGBig)
+	}
+}

@@ -1,0 +1,55 @@
+// Customzoo: CHRIS is orthogonal to the specific HR predictors (paper
+// §III-C) — this example plugs a custom spectral estimator into the zoo,
+// re-enumerates and re-profiles the configuration space, and shows how the
+// Pareto front shifts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chris "repro"
+	"repro/internal/models/spectral"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spectralEst := spectral.New()
+	pipe, err := chris.BuildPipeline(chris.QuickPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A new zoo: AT (cheapest), the custom spectral model, TimePPG-Big.
+	zoo, err := chris.NewZoo(pipe.AT, spectralEst, pipe.Big)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgs := zoo.EnumerateConfigs()
+	fmt.Printf("custom zoo: %d configurations\n", len(cfgs))
+
+	// Rebuild profiling records including the new model, then profile.
+	recs, err := chris.BuildRecords(pipe.TestWindows, zoo.Models(), pipe.Classifier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := chris.ProfileConfigs(cfgs, recs, pipe.Sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := chris.Pareto(profiles)
+	fmt.Printf("Pareto-optimal: %d\n\n", len(front))
+	fmt.Println("Pareto front (MAE vs watch energy):")
+	for _, p := range front {
+		fmt.Printf("  %-40s MAE %6.2f  E %9.1f µJ  offload %3.0f%%\n",
+			p.Name(), p.MAE, p.WatchEnergy.MicroJoules(), p.OffloadFraction*100)
+	}
+
+	// The unknown model is costed by the ops-based fallback of the
+	// hardware models — show where it landed.
+	fmt.Printf("\nSpectral on watch: %.1f µJ active (vs AT %.1f µJ, Small %.1f µJ)\n",
+		pipe.Sys.WatchLocalActiveEnergy(spectralEst).MicroJoules(),
+		pipe.Sys.WatchLocalActiveEnergy(pipe.AT).MicroJoules(),
+		pipe.Sys.WatchLocalActiveEnergy(pipe.Small).MicroJoules())
+}

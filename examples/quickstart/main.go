@@ -1,0 +1,60 @@
+// Quickstart: build a CHRIS pipeline, ask the decision engine for a
+// configuration under an error bound, and track heart rate over a stream
+// of windows — printing which model ran where for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chris "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the scaled-down pipeline: synthetic cohort, trained models,
+	// difficulty detector, profiled configurations. The full-size
+	// pipeline is chris.DefaultPipelineConfig() (first run trains the
+	// networks and takes minutes).
+	pipe, err := chris.BuildPipeline(chris.QuickPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The decision engine holds the energy-sorted configuration store.
+	engine, err := chris.NewEngine(pipe.Profiles, pipe.Classifier)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1 (constraint-dependent): ask for the cheapest configuration
+	// within 120% of the best profiled error, link up. (A deployment
+	// would use an absolute bound, e.g. 6 BPM, as in the paper.)
+	best := pipe.Profiles[0].MAE
+	for _, p := range pipe.Profiles {
+		if p.MAE < best {
+			best = p.MAE
+		}
+	}
+	cfg, err := engine.SelectConfig(true, chris.MAEConstraint(best*1.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected configuration: %s\n", cfg.Name())
+	fmt.Printf("  expected MAE %.2f BPM, watch energy %.1f µJ/prediction, offload %.0f%%\n\n",
+		cfg.MAE, cfg.WatchEnergy.MicroJoules(), cfg.OffloadFraction*100)
+
+	// Stage 2 (input-dependent): dispatch each incoming window.
+	fmt.Println("window  activity      difficulty  model          where  HR est  HR true")
+	for i := 0; i < len(pipe.TestWindows); i += len(pipe.TestWindows) / 12 {
+		w := &pipe.TestWindows[i]
+		d := engine.Predict(&cfg, w)
+		where := "watch"
+		if d.Offloaded {
+			where = "phone"
+		}
+		fmt.Printf("%6d  %-12s  %10d  %-13s  %-5s  %6.1f  %7.1f\n",
+			i, w.Activity, d.Difficulty, d.Model.Name(), where, d.HR, w.TrueHR)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Records are cached with encoding/gob so that repeated harness runs skip
+// the expensive inference pass over every window. The cache key (embedded
+// in the file name by the caller) covers dataset, split and model
+// configuration; a length check guards against stale files.
+
+func saveRecords(path string, recs []core.WindowRecord) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(recs)
+}
+
+func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []core.WindowRecord
+	if err := gob.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, err
+	}
+	if len(recs) != wantLen {
+		return nil, fmt.Errorf("bench: stale record cache %s (%d records, want %d)", path, len(recs), wantLen)
+	}
+	return recs, nil
+}

@@ -1,0 +1,120 @@
+// Package core implements CHRIS, the Collaborative Heart Rate Inference
+// System of the paper: a smartwatch runtime that, for every analysis
+// window, selects one of two heart-rate models and an execution target
+// (watch or phone) so as to meet a user constraint on error or energy.
+//
+// The package provides the Models Zoo, the enumeration and offline
+// profiling of the 60 operating configurations (§III-A), the Pareto
+// analysis of the MAE/energy plane (§IV-B), and the two-stage Decision
+// Engine (§III-B): constraint-dependent configuration selection followed
+// by input-dependent model selection driven by the Random-Forest
+// difficulty detector.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+)
+
+// Execution says where a configuration runs its complex model. The simple
+// model always runs on the watch.
+type Execution int
+
+const (
+	// Local runs both models on the smartwatch.
+	Local Execution = iota
+	// Hybrid offloads the complex model to the phone over BLE.
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (e Execution) String() string {
+	if e == Hybrid {
+		return "Hybrid"
+	}
+	return "Local"
+}
+
+// NumThresholds is the number of difficulty-threshold levels: thresholds
+// 0..9, where threshold t sends activities with difficulty ID ≤ t to the
+// simple model. t = 0 always uses the complex model; t = 9 always the
+// simple one.
+const NumThresholds = dalia.NumActivities + 1
+
+// Config is one CHRIS operating configuration: a pair of HR models, the
+// difficulty threshold and the execution target of the complex model.
+type Config struct {
+	Simple    models.HREstimator
+	Complex   models.HREstimator
+	Threshold int
+	Exec      Execution
+}
+
+// Name renders a compact identifier such as "[AT,TimePPG-Big] t=8 Hybrid".
+func (c Config) Name() string {
+	return fmt.Sprintf("[%s,%s] t=%d %s", c.Simple.Name(), c.Complex.Name(), c.Threshold, c.Exec)
+}
+
+// UsesSimple reports whether a window with the given predicted difficulty
+// ID runs the simple model under this configuration.
+func (c Config) UsesSimple(difficultyID int) bool { return difficultyID <= c.Threshold }
+
+// Zoo is the Models Zoo: the HR estimators available to CHRIS, ordered
+// from least to most accurate (the order fixes which member of a pair acts
+// as the "simple" model).
+type Zoo struct {
+	models []models.HREstimator
+}
+
+// NewZoo builds a zoo; order models from least to most accurate.
+func NewZoo(ms ...models.HREstimator) (*Zoo, error) {
+	if len(ms) < 2 {
+		return nil, fmt.Errorf("core: a zoo needs at least two models, got %d", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("core: duplicate model %q in zoo", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	return &Zoo{models: append([]models.HREstimator(nil), ms...)}, nil
+}
+
+// Models returns the zoo members in accuracy order.
+func (z *Zoo) Models() []models.HREstimator { return z.models }
+
+// ByName retrieves a member.
+func (z *Zoo) ByName(name string) (models.HREstimator, bool) {
+	for _, m := range z.models {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// EnumerateConfigs expands the zoo into every CHRIS configuration: each
+// ordered pair (simple = less accurate, complex = more accurate), all
+// difficulty thresholds, both execution targets. Three models yield
+// 3 pairs × 10 thresholds × 2 targets = 60 configurations (§III-C).
+func (z *Zoo) EnumerateConfigs() []Config {
+	var out []Config
+	for i := 0; i < len(z.models); i++ {
+		for j := i + 1; j < len(z.models); j++ {
+			for t := 0; t < NumThresholds; t++ {
+				for _, ex := range []Execution{Local, Hybrid} {
+					out = append(out, Config{
+						Simple:    z.models[i],
+						Complex:   z.models[j],
+						Threshold: t,
+						Exec:      ex,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+)
+
+// fakeEst is a deterministic estimator whose error is its bias.
+type fakeEst struct {
+	name string
+	ops  int64
+	bias float64
+}
+
+func (f *fakeEst) Name() string  { return f.name }
+func (f *fakeEst) Ops() int64    { return f.ops }
+func (f *fakeEst) Params() int64 { return 0 }
+func (f *fakeEst) EstimateHR(w *dalia.Window) float64 {
+	return models.ClampHR(w.TrueHR + f.bias)
+}
+
+func threeModelZoo(t *testing.T) *Zoo {
+	t.Helper()
+	z, err := NewZoo(
+		&fakeEst{name: "cheap", ops: 3_000, bias: 10},
+		&fakeEst{name: "mid", ops: 80_000, bias: 5},
+		&fakeEst{name: "best", ops: 12_000_000, bias: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestNewZooValidation(t *testing.T) {
+	if _, err := NewZoo(&fakeEst{name: "only"}); err == nil {
+		t.Error("single-model zoo accepted")
+	}
+	if _, err := NewZoo(&fakeEst{name: "x"}, &fakeEst{name: "x"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestEnumerateConfigsCount(t *testing.T) {
+	z := threeModelZoo(t)
+	cfgs := z.EnumerateConfigs()
+	// 3 pairs × 10 thresholds × 2 targets = 60, as in the paper.
+	if len(cfgs) != 60 {
+		t.Fatalf("got %d configs, want 60", len(cfgs))
+	}
+	// Pairs must be ordered (simple less accurate than complex).
+	counts := map[string]int{}
+	for _, c := range cfgs {
+		counts[c.Simple.Name()+"+"+c.Complex.Name()]++
+		if c.Threshold < 0 || c.Threshold >= NumThresholds {
+			t.Errorf("threshold %d out of range", c.Threshold)
+		}
+	}
+	for _, pair := range []string{"cheap+mid", "cheap+best", "mid+best"} {
+		if counts[pair] != 20 {
+			t.Errorf("pair %s has %d configs, want 20", pair, counts[pair])
+		}
+	}
+	two, _ := NewZoo(&fakeEst{name: "a"}, &fakeEst{name: "b"})
+	if got := len(two.EnumerateConfigs()); got != 20 {
+		t.Errorf("2-model zoo: %d configs, want 20", got)
+	}
+}
+
+func TestZooByName(t *testing.T) {
+	z := threeModelZoo(t)
+	if m, ok := z.ByName("mid"); !ok || m.Name() != "mid" {
+		t.Error("ByName failed")
+	}
+	if _, ok := z.ByName("nope"); ok {
+		t.Error("ByName found a ghost")
+	}
+}
+
+func TestUsesSimpleSemantics(t *testing.T) {
+	c := Config{Threshold: 4}
+	for d := 1; d <= 9; d++ {
+		want := d <= 4
+		if got := c.UsesSimple(d); got != want {
+			t.Errorf("t=4 d=%d: UsesSimple = %v, want %v", d, got, want)
+		}
+	}
+	always := Config{Threshold: 9}
+	never := Config{Threshold: 0}
+	for d := 1; d <= 9; d++ {
+		if !always.UsesSimple(d) {
+			t.Errorf("t=9 must always use the simple model (d=%d)", d)
+		}
+		if never.UsesSimple(d) {
+			t.Errorf("t=0 must never use the simple model (d=%d)", d)
+		}
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	z := threeModelZoo(t)
+	c := z.EnumerateConfigs()[0]
+	n := c.Name()
+	if !strings.Contains(n, "cheap") || !strings.Contains(n, "t=0") {
+		t.Errorf("Name = %q", n)
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	if Local.String() != "Local" || Hybrid.String() != "Hybrid" {
+		t.Error("Execution strings wrong")
+	}
+}
+
+func almostE(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+var _ = almostE // used by profile tests

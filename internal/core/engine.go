@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dalia"
+	"repro/internal/hw/power"
+	"repro/internal/models"
+	"repro/internal/models/rf"
+)
+
+// ConstraintKind selects which user threshold the engine honours.
+type ConstraintKind int
+
+const (
+	// MaxMAE asks for the lowest-energy configuration whose profiled MAE
+	// does not exceed the threshold.
+	MaxMAE ConstraintKind = iota
+	// MaxEnergy asks for the lowest-MAE configuration whose profiled
+	// watch energy does not exceed the threshold.
+	MaxEnergy
+)
+
+// Constraint is the user-defined threshold of §III-B1. It is a soft
+// constraint: it holds exactly when field data is distributed like the
+// profiling data.
+type Constraint struct {
+	Kind   ConstraintKind
+	MAE    float64      // BPM, used when Kind == MaxMAE
+	Energy power.Energy // used when Kind == MaxEnergy
+}
+
+// MAEConstraint builds a maximum-expected-MAE constraint.
+func MAEConstraint(bpm float64) Constraint { return Constraint{Kind: MaxMAE, MAE: bpm} }
+
+// EnergyConstraint builds a maximum-expected-energy constraint.
+func EnergyConstraint(e power.Energy) Constraint { return Constraint{Kind: MaxEnergy, Energy: e} }
+
+// Decision is the runtime output for one window: which model ran, where,
+// and what the difficulty detector said.
+type Decision struct {
+	Model      models.HREstimator
+	Offloaded  bool
+	Difficulty int
+	HR         float64
+}
+
+// Engine is the CHRIS decision engine: a profile store sorted by energy, a
+// difficulty detector, and the connection status input.
+type Engine struct {
+	profiles   []Profile // ascending watch energy (ProfileConfigs order)
+	classifier *rf.Classifier
+}
+
+// NewEngine builds the engine from profiled configurations (in
+// ProfileConfigs order) and the trained difficulty detector.
+func NewEngine(profiles []Profile, classifier *rf.Classifier) (*Engine, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("core: engine needs at least one profile")
+	}
+	for i := 1; i < len(profiles); i++ {
+		if profiles[i].WatchEnergy < profiles[i-1].WatchEnergy {
+			return nil, fmt.Errorf("core: profiles not sorted by energy at %d", i)
+		}
+	}
+	if classifier == nil {
+		return nil, fmt.Errorf("core: engine needs a difficulty classifier")
+	}
+	return &Engine{profiles: profiles, classifier: classifier}, nil
+}
+
+// Profiles returns the stored configurations (ascending energy).
+func (e *Engine) Profiles() []Profile { return e.profiles }
+
+// SelectConfig performs the constraint-dependent configuration selection
+// of §III-B1: hybrid configurations are filtered out when the BLE link is
+// down, then a single linear pass over the energy-sorted store finds the
+// configuration the constraint asks for.
+func (e *Engine) SelectConfig(connected bool, c Constraint) (Profile, error) {
+	feasible := func(p *Profile) bool { return connected || p.Exec == Local }
+	switch c.Kind {
+	case MaxMAE:
+		// Store is energy-ascending: the first feasible profile meeting
+		// the MAE bound is the cheapest one.
+		for i := range e.profiles {
+			p := &e.profiles[i]
+			if feasible(p) && p.MAE <= c.MAE {
+				return *p, nil
+			}
+		}
+		return Profile{}, fmt.Errorf("core: no feasible configuration with MAE ≤ %.2f BPM (connected=%v)", c.MAE, connected)
+	case MaxEnergy:
+		best := -1
+		for i := range e.profiles {
+			p := &e.profiles[i]
+			if p.WatchEnergy > c.Energy {
+				break // energy-sorted: nothing further can be feasible
+			}
+			if feasible(p) && (best < 0 || p.MAE < e.profiles[best].MAE) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return Profile{}, fmt.Errorf("core: no feasible configuration with energy ≤ %v (connected=%v)", c.Energy, connected)
+		}
+		return e.profiles[best], nil
+	default:
+		return Profile{}, fmt.Errorf("core: unknown constraint kind %d", c.Kind)
+	}
+}
+
+// Dispatch performs the input-dependent model selection of §III-B2 for one
+// window under a selected configuration: the difficulty detector assigns
+// an activity; activities at or below the threshold go to the simple
+// model, the rest to the complex one, which runs on the phone when the
+// configuration is hybrid.
+func (e *Engine) Dispatch(cfg *Profile, w *dalia.Window) Decision {
+	diff := e.classifier.DifficultyID(w)
+	if cfg.UsesSimple(diff) {
+		return Decision{Model: cfg.Simple, Offloaded: false, Difficulty: diff}
+	}
+	return Decision{Model: cfg.Complex, Offloaded: cfg.Exec == Hybrid, Difficulty: diff}
+}
+
+// Predict runs the full runtime path for one window: dispatch, then the
+// selected model. The returned Decision carries the estimate.
+func (e *Engine) Predict(cfg *Profile, w *dalia.Window) Decision {
+	d := e.Dispatch(cfg, w)
+	d.HR = d.Model.EstimateHR(w)
+	return d
+}

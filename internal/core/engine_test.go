@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/hw"
+	"repro/internal/hw/power"
+	"repro/internal/models/rf"
+)
+
+func trainedClassifier(t *testing.T) (*rf.Classifier, []dalia.Window) {
+	t.Helper()
+	c := dalia.DefaultConfig()
+	c.Subjects = 2
+	c.DurationScale = 0.03
+	var ws []dalia.Window
+	for s := 0; s < c.Subjects; s++ {
+		rec, err := dalia.GenerateSubject(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, dalia.Windows(rec, c.WindowSamples, c.StrideSamples)...)
+	}
+	cls, err := rf.Train(ws, rf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls, ws
+}
+
+func testEngine(t *testing.T) (*Engine, []Profile) {
+	t.Helper()
+	sys := hw.NewSystem()
+	z := threeModelZoo(t)
+	recs := buildRecords(80, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
+	for i := range recs {
+		recs[i].Pred["mid"] = recs[i].TrueHR + 5
+	}
+	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := trainedClassifier(t)
+	e, err := NewEngine(profiles, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, profiles
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	cls, _ := trainedClassifier(t)
+	if _, err := NewEngine(nil, cls); err == nil {
+		t.Error("empty profiles accepted")
+	}
+	unsorted := []Profile{
+		{MAE: 1, WatchEnergy: 5},
+		{MAE: 2, WatchEnergy: 1},
+	}
+	if _, err := NewEngine(unsorted, cls); err == nil {
+		t.Error("unsorted profiles accepted")
+	}
+	sorted := []Profile{{MAE: 2, WatchEnergy: 1}, {MAE: 1, WatchEnergy: 5}}
+	if _, err := NewEngine(sorted, nil); err == nil {
+		t.Error("nil classifier accepted")
+	}
+}
+
+func TestSelectConfigMaxMAE(t *testing.T) {
+	e, _ := testEngine(t)
+	got, err := e.SelectConfig(true, MAEConstraint(6.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MAE > 6.0 {
+		t.Errorf("selected MAE %v exceeds bound", got.MAE)
+	}
+	// It must be the cheapest such configuration.
+	for _, p := range e.Profiles() {
+		if p.MAE <= 6.0 && p.WatchEnergy < got.WatchEnergy {
+			t.Errorf("cheaper feasible config %s exists (%v < %v)", p.Name(), p.WatchEnergy, got.WatchEnergy)
+		}
+	}
+}
+
+func TestSelectConfigMaxEnergy(t *testing.T) {
+	e, _ := testEngine(t)
+	bound := power.MicroJoules(300)
+	got, err := e.SelectConfig(true, EnergyConstraint(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WatchEnergy > bound {
+		t.Errorf("selected energy %v exceeds bound %v", got.WatchEnergy, bound)
+	}
+	for _, p := range e.Profiles() {
+		if p.WatchEnergy <= bound && p.MAE < got.MAE {
+			t.Errorf("more accurate feasible config %s exists", p.Name())
+		}
+	}
+}
+
+func TestSelectConfigConnectivityFilter(t *testing.T) {
+	e, _ := testEngine(t)
+	up, err := e.SelectConfig(true, MAEConstraint(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := e.SelectConfig(false, MAEConstraint(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Exec != Local {
+		t.Error("BLE-down selection returned a hybrid configuration")
+	}
+	// With the link down the watch can never do better (cheaper at equal
+	// bound) than with it up.
+	if down.WatchEnergy < up.WatchEnergy {
+		t.Errorf("link-down energy %v beats link-up %v", down.WatchEnergy, up.WatchEnergy)
+	}
+}
+
+func TestSelectConfigInfeasible(t *testing.T) {
+	e, _ := testEngine(t)
+	if _, err := e.SelectConfig(true, MAEConstraint(0.1)); err == nil {
+		t.Error("impossible MAE bound accepted")
+	}
+	if _, err := e.SelectConfig(true, EnergyConstraint(power.Energy(1e-12))); err == nil {
+		t.Error("impossible energy bound accepted")
+	}
+	if _, err := e.SelectConfig(true, Constraint{Kind: ConstraintKind(99)}); err == nil {
+		t.Error("unknown constraint kind accepted")
+	}
+}
+
+func TestDispatchAndPredict(t *testing.T) {
+	sys := hw.NewSystem()
+	cls, ws := trainedClassifier(t)
+	simple := &fakeEst{name: "cheap", ops: 3_000, bias: 10}
+	complex := &fakeEst{name: "best", ops: 12_000_000, bias: 2}
+	recs := buildRecords(20, simple, complex)
+	profiles, err := ProfileConfigs([]Config{
+		{Simple: simple, Complex: complex, Threshold: 5, Exec: Hybrid},
+	}, recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(profiles, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := profiles[0]
+	seenSimple, seenComplex := false, false
+	for i := range ws {
+		w := &ws[i]
+		d := e.Predict(&cfg, w)
+		if d.Difficulty < 1 || d.Difficulty > dalia.NumActivities {
+			t.Fatalf("difficulty %d out of range", d.Difficulty)
+		}
+		wantSimple := d.Difficulty <= cfg.Threshold
+		if wantSimple {
+			seenSimple = true
+			if d.Model.Name() != "cheap" || d.Offloaded {
+				t.Fatalf("easy window got %s offloaded=%v", d.Model.Name(), d.Offloaded)
+			}
+		} else {
+			seenComplex = true
+			if d.Model.Name() != "best" || !d.Offloaded {
+				t.Fatalf("hard window got %s offloaded=%v", d.Model.Name(), d.Offloaded)
+			}
+		}
+		if d.HR < 35 || d.HR > 210 {
+			t.Fatalf("estimate %v out of range", d.HR)
+		}
+	}
+	if !seenSimple || !seenComplex {
+		t.Error("dispatch never exercised both paths")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+// Pareto returns the Pareto-optimal subset of profiles in the (MAE, watch
+// energy) plane — both minimized — preserving the input's energy order.
+// Duplicate points keep their first occurrence.
+func Pareto(profiles []Profile) []Profile {
+	var out []Profile
+	for i, p := range profiles {
+		dominated := false
+		for j, q := range profiles {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) || (equalPoint(q, p) && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dominates reports whether a is at least as good as b on both axes and
+// strictly better on one.
+func dominates(a, b Profile) bool {
+	if a.MAE > b.MAE || a.WatchEnergy > b.WatchEnergy {
+		return false
+	}
+	return a.MAE < b.MAE || a.WatchEnergy < b.WatchEnergy
+}
+
+func equalPoint(a, b Profile) bool {
+	return a.MAE == b.MAE && a.WatchEnergy == b.WatchEnergy
+}
+
+// FilterLocal returns only the configurations that keep every model on the
+// smartwatch — the feasible set when the BLE link is down.
+func FilterLocal(profiles []Profile) []Profile {
+	var out []Profile
+	for _, p := range profiles {
+		if p.Exec == Local {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw/power"
+)
+
+// Property: for any random point set, the Pareto front is non-empty,
+// contains no internally dominated pair, and covers every excluded point.
+func TestParetoPropertyQuick(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		profiles := make([]Profile, n)
+		for i := range profiles {
+			profiles[i] = Profile{
+				MAE:         1 + rng.Float64()*10,
+				WatchEnergy: power.Energy(rng.Float64()),
+			}
+		}
+		front := Pareto(profiles)
+		if len(front) == 0 {
+			return false
+		}
+		for i, a := range front {
+			for j, b := range front {
+				if i != j && dominates(a, b) {
+					return false
+				}
+			}
+		}
+		for _, p := range profiles {
+			covered := false
+			for _, fp := range front {
+				if fp.MAE == p.MAE && fp.WatchEnergy == p.WatchEnergy {
+					covered = true
+					break
+				}
+				if dominates(fp, p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the front of the front is the front (idempotence).
+func TestParetoIdempotentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		profiles := make([]Profile, 20)
+		for i := range profiles {
+			profiles[i] = Profile{
+				MAE:         rng.Float64() * 10,
+				WatchEnergy: power.Energy(rng.Float64()),
+			}
+		}
+		front := Pareto(profiles)
+		again := Pareto(front)
+		if len(front) != len(again) {
+			return false
+		}
+		for i := range front {
+			if front[i].MAE != again[i].MAE || front[i].WatchEnergy != again[i].WatchEnergy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dalia"
+	"repro/internal/hw"
+	"repro/internal/hw/power"
+)
+
+// WindowRecord is the per-window information the offline profiler needs:
+// ground truth, the difficulty detector's (possibly wrong) output, and
+// every zoo model's prediction. Materializing records once makes profiling
+// all 60 configurations an O(windows) aggregation per configuration
+// instead of re-running inference 60 times.
+type WindowRecord struct {
+	TrueHR     float64
+	Activity   dalia.Activity
+	Difficulty int // RF-predicted difficulty ID (1..9)
+	Pred       map[string]float64
+}
+
+// Profile is a configuration together with its measured characteristics —
+// the row format stored in the smartwatch MCU (paper Table II).
+type Profile struct {
+	Config
+	// MAE is the activity-balanced mean absolute error in BPM (the paper
+	// evaluates with every activity equally represented).
+	MAE float64
+	// WatchEnergy is the mean per-prediction smartwatch energy in the
+	// active-only view the paper uses for Table I and Fig. 4.
+	WatchEnergy power.Energy
+	// WatchEnergyIdle additionally charges MCU idle time over the window
+	// period (the Table III view).
+	WatchEnergyIdle power.Energy
+	// PhoneEnergy is the mean per-prediction phone energy.
+	PhoneEnergy power.Energy
+	// OffloadFraction is the fraction of windows sent over BLE.
+	OffloadFraction float64
+	// SimpleFraction is the fraction of windows served by the simple
+	// model.
+	SimpleFraction float64
+}
+
+// ProfileConfig measures one configuration over the profiling records.
+func ProfileConfig(cfg Config, records []WindowRecord, sys *hw.System) (Profile, error) {
+	if len(records) == 0 {
+		return Profile{}, fmt.Errorf("core: no profiling records")
+	}
+	type actAgg struct {
+		absErr float64
+		n      int
+	}
+	perAct := map[dalia.Activity]*actAgg{}
+	var watch, watchIdle, phoneE float64
+	var offload, simple int
+
+	bleActive := sys.WatchOffloadActiveEnergy()
+	bleIdle := sys.WatchOffloadEnergy()
+	simpleActive := sys.WatchLocalActiveEnergy(cfg.Simple)
+	simpleIdle := sys.WatchLocalEnergy(cfg.Simple)
+	complexActive := sys.WatchLocalActiveEnergy(cfg.Complex)
+	complexIdle := sys.WatchLocalEnergy(cfg.Complex)
+	phonePer := sys.PhoneEnergy(cfg.Complex)
+
+	for i := range records {
+		r := &records[i]
+		var pred float64
+		var ok bool
+		if cfg.UsesSimple(r.Difficulty) {
+			pred, ok = r.Pred[cfg.Simple.Name()]
+			simple++
+			watch += float64(simpleActive)
+			watchIdle += float64(simpleIdle)
+		} else {
+			pred, ok = r.Pred[cfg.Complex.Name()]
+			if cfg.Exec == Hybrid {
+				offload++
+				watch += float64(bleActive)
+				watchIdle += float64(bleIdle)
+				phoneE += float64(phonePer)
+			} else {
+				watch += float64(complexActive)
+				watchIdle += float64(complexIdle)
+			}
+		}
+		if !ok {
+			return Profile{}, fmt.Errorf("core: record missing prediction for config %s", cfg.Name())
+		}
+		a := perAct[r.Activity]
+		if a == nil {
+			a = &actAgg{}
+			perAct[r.Activity] = a
+		}
+		d := pred - r.TrueHR
+		if d < 0 {
+			d = -d
+		}
+		a.absErr += d
+		a.n++
+	}
+
+	// Activity-balanced MAE: mean of per-activity MAEs. Iterate in fixed
+	// activity order so float summation is deterministic across runs.
+	var maeSum float64
+	var acts int
+	for _, act := range dalia.Activities() {
+		if a := perAct[act]; a != nil && a.n > 0 {
+			maeSum += a.absErr / float64(a.n)
+			acts++
+		}
+	}
+	n := float64(len(records))
+	return Profile{
+		Config:          cfg,
+		MAE:             maeSum / float64(acts),
+		WatchEnergy:     power.Energy(watch / n),
+		WatchEnergyIdle: power.Energy(watchIdle / n),
+		PhoneEnergy:     power.Energy(phoneE / n),
+		OffloadFraction: float64(offload) / n,
+		SimpleFraction:  float64(simple) / n,
+	}, nil
+}
+
+// ProfileConfigs measures every configuration and returns the profiles
+// sorted by ascending watch energy (ties by MAE) — the storage order that
+// lets the decision engine answer constraints in one linear pass (§III-A).
+func ProfileConfigs(cfgs []Config, records []WindowRecord, sys *hw.System) ([]Profile, error) {
+	out := make([]Profile, 0, len(cfgs))
+	for _, c := range cfgs {
+		p, err := ProfileConfig(c, records, sys)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].WatchEnergy != out[j].WatchEnergy {
+			return out[i].WatchEnergy < out[j].WatchEnergy
+		}
+		return out[i].MAE < out[j].MAE
+	})
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/hw"
+)
+
+// buildRecords fabricates profiling records: half easy (sitting,
+// difficulty 1), half hard (table soccer, difficulty 9), with each model's
+// prediction off by its bias.
+func buildRecords(n int, simple, complex *fakeEst) []WindowRecord {
+	recs := make([]WindowRecord, n)
+	for i := range recs {
+		act, diff := dalia.Sitting, 1
+		if i%2 == 1 {
+			act, diff = dalia.TableSoccer, 9
+		}
+		truth := 80.0
+		recs[i] = WindowRecord{
+			TrueHR:     truth,
+			Activity:   act,
+			Difficulty: diff,
+			Pred: map[string]float64{
+				simple.name:  truth + simple.bias,
+				complex.name: truth + complex.bias,
+			},
+		}
+	}
+	return recs
+}
+
+func TestProfileConfigHybridAccounting(t *testing.T) {
+	sys := hw.NewSystem()
+	simple := &fakeEst{name: "cheap", ops: 3_000, bias: 10}
+	complex := &fakeEst{name: "best", ops: 12_000_000, bias: 2}
+	recs := buildRecords(100, simple, complex)
+	cfg := Config{Simple: simple, Complex: complex, Threshold: 4, Exec: Hybrid}
+
+	p, err := ProfileConfig(cfg, recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the windows are difficulty 1 (simple), half 9 (complex →
+	// offloaded).
+	if !almostE(p.SimpleFraction, 0.5) || !almostE(p.OffloadFraction, 0.5) {
+		t.Errorf("fractions = %v/%v, want 0.5/0.5", p.SimpleFraction, p.OffloadFraction)
+	}
+	// Balanced MAE: sitting errors are all 10, soccer all 2 → mean 6.
+	if !almostE(p.MAE, 6) {
+		t.Errorf("MAE = %v, want 6", p.MAE)
+	}
+	wantWatch := 0.5*float64(sys.WatchLocalActiveEnergy(simple)) + 0.5*float64(sys.WatchOffloadActiveEnergy())
+	if !almostE(float64(p.WatchEnergy), wantWatch) {
+		t.Errorf("WatchEnergy = %v, want %v", float64(p.WatchEnergy), wantWatch)
+	}
+	wantPhone := 0.5 * float64(sys.PhoneEnergy(complex))
+	if !almostE(float64(p.PhoneEnergy), wantPhone) {
+		t.Errorf("PhoneEnergy = %v, want %v", float64(p.PhoneEnergy), wantPhone)
+	}
+	if p.WatchEnergyIdle <= p.WatchEnergy {
+		t.Error("idle-inclusive energy must exceed active-only")
+	}
+}
+
+func TestProfileConfigLocalNoPhone(t *testing.T) {
+	sys := hw.NewSystem()
+	simple := &fakeEst{name: "cheap", ops: 3_000, bias: 10}
+	complex := &fakeEst{name: "best", ops: 12_000_000, bias: 2}
+	recs := buildRecords(40, simple, complex)
+	cfg := Config{Simple: simple, Complex: complex, Threshold: 4, Exec: Local}
+	p, err := ProfileConfig(cfg, recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PhoneEnergy != 0 || p.OffloadFraction != 0 {
+		t.Errorf("local config has phone energy %v / offload %v", p.PhoneEnergy, p.OffloadFraction)
+	}
+	wantWatch := 0.5*float64(sys.WatchLocalActiveEnergy(simple)) + 0.5*float64(sys.WatchLocalActiveEnergy(complex))
+	if !almostE(float64(p.WatchEnergy), wantWatch) {
+		t.Errorf("WatchEnergy = %v, want %v", float64(p.WatchEnergy), wantWatch)
+	}
+}
+
+func TestProfileConfigThresholdExtremes(t *testing.T) {
+	sys := hw.NewSystem()
+	simple := &fakeEst{name: "cheap", ops: 3_000, bias: 10}
+	complex := &fakeEst{name: "best", ops: 12_000_000, bias: 2}
+	recs := buildRecords(40, simple, complex)
+
+	alwaysSimple, _ := ProfileConfig(Config{Simple: simple, Complex: complex, Threshold: 9, Exec: Hybrid}, recs, sys)
+	if !almostE(alwaysSimple.SimpleFraction, 1) || alwaysSimple.OffloadFraction != 0 {
+		t.Errorf("t=9: fractions %v/%v", alwaysSimple.SimpleFraction, alwaysSimple.OffloadFraction)
+	}
+	if !almostE(alwaysSimple.MAE, 10) {
+		t.Errorf("t=9 MAE = %v, want 10 (simple bias)", alwaysSimple.MAE)
+	}
+	alwaysComplex, _ := ProfileConfig(Config{Simple: simple, Complex: complex, Threshold: 0, Exec: Local}, recs, sys)
+	if alwaysComplex.SimpleFraction != 0 {
+		t.Errorf("t=0 simple fraction = %v", alwaysComplex.SimpleFraction)
+	}
+	if !almostE(alwaysComplex.MAE, 2) {
+		t.Errorf("t=0 MAE = %v, want 2 (complex bias)", alwaysComplex.MAE)
+	}
+}
+
+func TestProfileConfigErrors(t *testing.T) {
+	sys := hw.NewSystem()
+	simple := &fakeEst{name: "cheap", ops: 3_000, bias: 10}
+	complex := &fakeEst{name: "best", ops: 12_000_000, bias: 2}
+	if _, err := ProfileConfig(Config{Simple: simple, Complex: complex}, nil, sys); err == nil {
+		t.Error("empty records accepted")
+	}
+	recs := buildRecords(4, simple, complex)
+	for i := range recs {
+		delete(recs[i].Pred, "best")
+	}
+	cfg := Config{Simple: simple, Complex: complex, Threshold: 0, Exec: Local}
+	if _, err := ProfileConfig(cfg, recs, sys); err == nil {
+		t.Error("missing predictions accepted")
+	}
+}
+
+func TestProfileConfigsSortedByEnergy(t *testing.T) {
+	sys := hw.NewSystem()
+	z := threeModelZoo(t)
+	recs := buildRecords(60, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
+	// Add mid-model predictions so every config can be profiled.
+	for i := range recs {
+		recs[i].Pred["mid"] = recs[i].TrueHR + 5
+	}
+	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 60 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	for i := 1; i < len(profiles); i++ {
+		if profiles[i].WatchEnergy < profiles[i-1].WatchEnergy {
+			t.Fatalf("profiles not energy-sorted at %d", i)
+		}
+	}
+}
+
+func TestParetoInvariants(t *testing.T) {
+	sys := hw.NewSystem()
+	z := threeModelZoo(t)
+	recs := buildRecords(60, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
+	for i := range recs {
+		recs[i].Pred["mid"] = recs[i].TrueHR + 5
+	}
+	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(profiles)
+	if len(front) == 0 || len(front) >= len(profiles) {
+		t.Fatalf("degenerate front size %d of %d", len(front), len(profiles))
+	}
+	// No front member dominates another.
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && dominates(a, b) {
+				t.Errorf("front member %s dominates %s", a.Name(), b.Name())
+			}
+		}
+	}
+	// Every non-member is dominated by (or duplicates) a member.
+	inFront := func(p Profile) bool {
+		for _, f := range front {
+			if f.Name() == p.Name() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range profiles {
+		if inFront(p) {
+			continue
+		}
+		covered := false
+		for _, f := range front {
+			if dominates(f, p) || equalPoint(f, p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("excluded profile %s is not dominated", p.Name())
+		}
+	}
+}
+
+func TestFilterLocal(t *testing.T) {
+	ps := []Profile{
+		{Config: Config{Exec: Local}},
+		{Config: Config{Exec: Hybrid}},
+		{Config: Config{Exec: Local}},
+	}
+	local := FilterLocal(ps)
+	if len(local) != 2 {
+		t.Fatalf("got %d local profiles, want 2", len(local))
+	}
+	for _, p := range local {
+		if p.Exec != Local {
+			t.Error("hybrid profile survived FilterLocal")
+		}
+	}
+}
+
+func TestParetoDuplicateHandling(t *testing.T) {
+	a := Profile{MAE: 5, WatchEnergy: 1}
+	b := Profile{MAE: 5, WatchEnergy: 1} // duplicate point
+	c := Profile{MAE: 4, WatchEnergy: 2}
+	front := Pareto([]Profile{a, b, c})
+	if len(front) != 2 {
+		t.Fatalf("front size %d, want 2 (dup collapsed)", len(front))
+	}
+	if math.Abs(front[0].MAE-5) > 1e-12 || math.Abs(front[1].MAE-4) > 1e-12 {
+		t.Error("wrong front members")
+	}
+}

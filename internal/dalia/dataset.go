@@ -1,0 +1,161 @@
+package dalia
+
+import "fmt"
+
+// Dataset is a lazy handle over the synthetic cohort: recordings are
+// produced per subject on demand so that the full 37.5-hour dataset never
+// needs to be resident at once.
+type Dataset struct {
+	cfg   Config
+	cache map[int]*Recording
+}
+
+// New returns a dataset handle for the given configuration.
+func New(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Dataset{cfg: cfg, cache: make(map[int]*Recording)}, nil
+}
+
+// Config returns the dataset configuration.
+func (d *Dataset) Config() Config { return d.cfg }
+
+// Subjects returns the cohort size.
+func (d *Dataset) Subjects() int { return d.cfg.Subjects }
+
+// Recording returns (generating and caching on first use) the recording of
+// one subject.
+func (d *Dataset) Recording(subject int) (*Recording, error) {
+	if rec, ok := d.cache[subject]; ok {
+		return rec, nil
+	}
+	rec, err := GenerateSubject(d.cfg, subject)
+	if err != nil {
+		return nil, err
+	}
+	d.cache[subject] = rec
+	return rec, nil
+}
+
+// Release drops a cached recording so its memory can be reclaimed.
+func (d *Dataset) Release(subject int) { delete(d.cache, subject) }
+
+// SubjectWindows returns the analysis windows of one subject. The windows
+// alias the cached recording; call Release only after the windows are no
+// longer needed.
+func (d *Dataset) SubjectWindows(subject int) ([]Window, error) {
+	rec, err := d.Recording(subject)
+	if err != nil {
+		return nil, err
+	}
+	return Windows(rec, d.cfg.WindowSamples, d.cfg.StrideSamples), nil
+}
+
+// CollectWindows concatenates the windows of several subjects. Recordings
+// of the listed subjects stay cached (the windows alias them).
+func (d *Dataset) CollectWindows(subjects []int) ([]Window, error) {
+	var out []Window
+	for _, s := range subjects {
+		ws, err := d.SubjectWindows(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ws...)
+	}
+	return out, nil
+}
+
+// EachSubjectWindows streams each subject's windows through fn, releasing
+// the recording afterwards. Use this for evaluation passes over the full
+// cohort where peak memory matters.
+func (d *Dataset) EachSubjectWindows(subjects []int, fn func(subject int, ws []Window) error) error {
+	for _, s := range subjects {
+		ws, err := d.SubjectWindows(s)
+		if err != nil {
+			return err
+		}
+		if err := fn(s, ws); err != nil {
+			return err
+		}
+		d.Release(s)
+	}
+	return nil
+}
+
+// Fold is one cross-validation iteration of the paper's scheme: 5 folds of
+// 3 subjects; 4 folds train, two subjects of the held-out fold validate and
+// the remaining one tests, rotating the test subject within the fold.
+type Fold struct {
+	Train      []int
+	Validation []int
+	Test       int
+}
+
+// CrossValidation enumerates all 15 (fold, rotation) iterations for a
+// 15-subject cohort, or the analogous splits for smaller cohorts (cohorts
+// not divisible by 3 put the remainder in the last fold).
+func (d *Dataset) CrossValidation() []Fold {
+	return CrossValidationSplits(d.cfg.Subjects)
+}
+
+// CrossValidationSplits builds the paper's 5×3 leave-subjects-out scheme
+// for an arbitrary cohort size (≥3).
+func CrossValidationSplits(subjects int) []Fold {
+	const foldSize = 3
+	var folds [][]int
+	for start := 0; start < subjects; start += foldSize {
+		end := start + foldSize
+		if end > subjects {
+			end = subjects
+		}
+		var f []int
+		for s := start; s < end; s++ {
+			f = append(f, s)
+		}
+		if len(f) > 0 {
+			folds = append(folds, f)
+		}
+	}
+	var out []Fold
+	for i, held := range folds {
+		var train []int
+		for j, other := range folds {
+			if j != i {
+				train = append(train, other...)
+			}
+		}
+		for _, test := range held {
+			var val []int
+			for _, s := range held {
+				if s != test {
+					val = append(val, s)
+				}
+			}
+			out = append(out, Fold{Train: train, Validation: val, Test: test})
+		}
+	}
+	return out
+}
+
+// SplitSubjects partitions the cohort into three disjoint subject sets with
+// the given counts (train, profile, test) in subject order; it is the
+// simpler split used by the CHRIS profiling pipeline when full CV is
+// unnecessary.
+func (d *Dataset) SplitSubjects(train, profile int) (trainS, profileS, testS []int, err error) {
+	total := d.cfg.Subjects
+	if train+profile >= total {
+		return nil, nil, nil, fmt.Errorf("dalia: split %d+%d leaves no test subjects of %d", train, profile, total)
+	}
+	for s := 0; s < total; s++ {
+		switch {
+		case s < train:
+			trainS = append(trainS, s)
+		case s < train+profile:
+			profileS = append(profileS, s)
+		default:
+			testS = append(testS, s)
+		}
+	}
+	return trainS, profileS, testS, nil
+}

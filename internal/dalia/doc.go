@@ -1,0 +1,21 @@
+// Package dalia synthesizes a PPGDalia-like dataset: wrist PPG and 3-axis
+// accelerometer recordings with ECG-grade ground-truth heart rate, for 15
+// subjects performing the nine daily activities of the DaLiA protocol.
+//
+// The real PPGDalia dataset (Reiss et al., 2019) is distributed under terms
+// that do not permit redistribution here, and this reproduction must run
+// offline, so the dataset is substituted with a physiologically-motivated
+// generator (see DESIGN.md §1). The generator preserves the two properties
+// the CHRIS paper depends on:
+//
+//  1. Motion artifacts corrupt the PPG channel proportionally to wrist
+//     acceleration, and each activity has a characteristic movement
+//     intensity, so HR-estimation difficulty is predictable from
+//     accelerometer energy alone.
+//  2. The accelerometer channels carry enough information to both classify
+//     the activity (for the Random-Forest difficulty detector) and to let a
+//     learned model partially cancel the artifacts (sensor fusion).
+//
+// Signals are sampled at 32 Hz and consumed as 8-second windows (256
+// samples) with a 2-second stride (64 samples), exactly like the paper.
+package dalia

@@ -1,0 +1,225 @@
+package dalia
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// tinyConfig keeps generation fast in unit tests.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.DurationScale = 0.02 // ≈3 min per subject
+	c.Subjects = 4
+	return c
+}
+
+func TestGenerateSubjectDeterministic(t *testing.T) {
+	c := tinyConfig()
+	r1, err := GenerateSubject(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GenerateSubject(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.PPG) != len(r2.PPG) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1.PPG), len(r2.PPG))
+	}
+	for i := range r1.PPG {
+		if r1.PPG[i] != r2.PPG[i] || r1.AccelX[i] != r2.AccelX[i] || r1.TrueHR[i] != r2.TrueHR[i] {
+			t.Fatalf("recordings diverge at sample %d", i)
+		}
+	}
+}
+
+func TestGenerateSubjectsDiffer(t *testing.T) {
+	c := tinyConfig()
+	r0, _ := GenerateSubject(c, 0)
+	r1, _ := GenerateSubject(c, 1)
+	same := 0
+	n := min(len(r0.PPG), len(r1.PPG))
+	for i := 0; i < n; i++ {
+		if r0.PPG[i] == r1.PPG[i] {
+			same++
+		}
+	}
+	if same > n/100 {
+		t.Errorf("subjects 0 and 1 share %d/%d identical samples", same, n)
+	}
+}
+
+func TestGenerateSubjectErrors(t *testing.T) {
+	c := tinyConfig()
+	if _, err := GenerateSubject(c, -1); err == nil {
+		t.Error("negative subject id accepted")
+	}
+	if _, err := GenerateSubject(c, c.Subjects); err == nil {
+		t.Error("out-of-range subject id accepted")
+	}
+	bad := c
+	bad.SampleRate = 0
+	if _, err := GenerateSubject(bad, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestRecordingShapes(t *testing.T) {
+	c := tinyConfig()
+	rec, err := GenerateSubject(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rec.Samples()
+	if n == 0 {
+		t.Fatal("empty recording")
+	}
+	for _, l := range [][]float64{rec.AccelX, rec.AccelY, rec.AccelZ, rec.TrueHR} {
+		if len(l) != n {
+			t.Fatalf("channel length %d != %d", len(l), n)
+		}
+	}
+	if len(rec.Label) != n {
+		t.Fatalf("label length %d != %d", len(rec.Label), n)
+	}
+}
+
+func TestTrueHRPhysiological(t *testing.T) {
+	c := tinyConfig()
+	rec, _ := GenerateSubject(c, 2)
+	for i, hr := range rec.TrueHR {
+		if hr < 35 || hr > 210 {
+			t.Fatalf("TrueHR[%d] = %v outside physiological bounds", i, hr)
+		}
+	}
+}
+
+func TestHRFollowsActivityIntensity(t *testing.T) {
+	c := tinyConfig()
+	c.DurationScale = 0.05
+	rec, _ := GenerateSubject(c, 1)
+	mean := map[Activity]float64{}
+	count := map[Activity]float64{}
+	for i, a := range rec.Label {
+		mean[a] += rec.TrueHR[i]
+		count[a]++
+	}
+	for a := range mean {
+		mean[a] /= count[a]
+	}
+	// Vigorous activities must drive a clearly higher HR than sedentary
+	// ones (second half of each bout dominates after the HR time
+	// constant).
+	if mean[Stairs] <= mean[Sitting]+10 {
+		t.Errorf("stairs HR %v not clearly above sitting HR %v", mean[Stairs], mean[Sitting])
+	}
+	if mean[Cycling] <= mean[Resting]+10 {
+		t.Errorf("cycling HR %v not clearly above resting HR %v", mean[Cycling], mean[Resting])
+	}
+}
+
+func TestAccelEnergyTracksDifficulty(t *testing.T) {
+	c := tinyConfig()
+	c.DurationScale = 0.05
+	rec, _ := GenerateSubject(c, 0)
+	ws := Windows(rec, c.WindowSamples, c.StrideSamples)
+	energy := map[Activity][]float64{}
+	for i := range ws {
+		w := &ws[i]
+		energy[w.Activity] = append(energy[w.Activity], w.AccelEnergy())
+	}
+	means := map[Activity]float64{}
+	for a, es := range energy {
+		means[a] = dsp.Mean(es)
+	}
+	// The empirical accel-energy ordering must respect the static
+	// difficulty ranking for well-separated pairs.
+	pairs := [][2]Activity{
+		{Sitting, Walking}, {Sitting, TableSoccer}, {Resting, Stairs},
+		{Working, Walking}, {Driving, TableSoccer}, {Lunch, Stairs},
+	}
+	for _, p := range pairs {
+		lo, hi := p[0], p[1]
+		if means[lo] >= means[hi] {
+			t.Errorf("accel energy of %v (%.4f) not below %v (%.4f)",
+				lo, means[lo], hi, means[hi])
+		}
+	}
+}
+
+func TestPPGContainsCardiacComponent(t *testing.T) {
+	c := tinyConfig()
+	rec, _ := GenerateSubject(c, 3)
+	ws := Windows(rec, c.WindowSamples, c.StrideSamples)
+	// On sitting windows the dominant 0.5-4 Hz component of the PPG should
+	// match the true HR within a few BPM for most windows.
+	good, total := 0, 0
+	for i := range ws {
+		w := &ws[i]
+		if (w.Activity != Sitting && w.Activity != Resting) || w.Purity < 1 {
+			continue
+		}
+		total++
+		ppg := append([]float64(nil), w.PPG...)
+		dsp.Detrend(ppg)
+		f := dsp.DominantFrequency(ppg, w.Rate, 0.5, 4)
+		if math.Abs(f*60-w.TrueHR) < 6 {
+			good++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no sedentary windows generated")
+	}
+	if frac := float64(good) / float64(total); frac < 0.7 {
+		t.Errorf("only %.0f%% of sedentary windows have a cardiac-dominant spectrum", frac*100)
+	}
+}
+
+func TestMotionCorruptsPPG(t *testing.T) {
+	// With artifact coupling disabled, the sedentary and vigorous windows
+	// should both be cardiac-dominant; with coupling enabled, vigorous
+	// windows must become spectrally harder.
+	cOn := tinyConfig()
+	cOff := cOn
+	cOff.ArtifactCoupling = 0
+
+	hardFrac := func(c Config) float64 {
+		rec, err := GenerateSubject(c, 1)
+		if err != nil {
+			panic(err)
+		}
+		ws := Windows(rec, c.WindowSamples, c.StrideSamples)
+		bad, total := 0, 0
+		for i := range ws {
+			w := &ws[i]
+			if w.Activity != Walking && w.Activity != Stairs && w.Activity != TableSoccer {
+				continue
+			}
+			total++
+			ppg := append([]float64(nil), w.PPG...)
+			dsp.Detrend(ppg)
+			f := dsp.DominantFrequency(ppg, w.Rate, 0.5, 4)
+			if math.Abs(f*60-w.TrueHR) > 10 {
+				bad++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(bad) / float64(total)
+	}
+
+	on, off := hardFrac(cOn), hardFrac(cOff)
+	if on <= off {
+		t.Errorf("artifact coupling does not increase difficulty: on=%.2f off=%.2f", on, off)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package dalia
+
+import "repro/internal/dsp"
+
+// Window is one 8-second analysis window. Signal slices alias the parent
+// Recording; callers must not mutate them.
+type Window struct {
+	Subject  int
+	Start    int     // first sample index within the recording
+	Rate     float64 // Hz
+	PPG      []float64
+	AccelX   []float64
+	AccelY   []float64
+	AccelZ   []float64
+	TrueHR   float64  // BPM: mean instantaneous HR over the window
+	Activity Activity // majority per-sample label
+	// Purity is the fraction of samples carrying the majority label; 1
+	// means the window lies entirely inside one activity bout.
+	Purity float64
+}
+
+// AccelMagnitude returns the per-sample Euclidean norm of the three
+// accelerometer axes.
+func (w *Window) AccelMagnitude() []float64 {
+	return dsp.Magnitude(w.AccelX, w.AccelY, w.AccelZ)
+}
+
+// AccelEnergy returns the mean squared gravity-free accelerometer
+// magnitude, the paper's difficulty proxy.
+func (w *Window) AccelEnergy() float64 {
+	mag := w.AccelMagnitude()
+	dsp.Detrend(mag)
+	return dsp.Energy(mag)
+}
+
+// Windows slices a recording into analysis windows using the dataset
+// window/stride configuration.
+func Windows(rec *Recording, windowSamples, strideSamples int) []Window {
+	if windowSamples <= 0 || strideSamples <= 0 || rec == nil {
+		return nil
+	}
+	n := rec.Samples()
+	var out []Window
+	for start := 0; start+windowSamples <= n; start += strideSamples {
+		end := start + windowSamples
+		act, purity := majorityLabel(rec.Label[start:end])
+		out = append(out, Window{
+			Subject:  rec.Subject,
+			Start:    start,
+			Rate:     rec.Rate,
+			PPG:      rec.PPG[start:end],
+			AccelX:   rec.AccelX[start:end],
+			AccelY:   rec.AccelY[start:end],
+			AccelZ:   rec.AccelZ[start:end],
+			TrueHR:   dsp.Mean(rec.TrueHR[start:end]),
+			Activity: act,
+			Purity:   purity,
+		})
+	}
+	return out
+}
+
+func majorityLabel(labels []Activity) (Activity, float64) {
+	var counts [numActivities]int
+	for _, l := range labels {
+		if l.Valid() {
+			counts[l]++
+		}
+	}
+	best := Activity(0)
+	for a := Activity(0); a < numActivities; a++ {
+		if counts[a] > counts[best] {
+			best = a
+		}
+	}
+	if len(labels) == 0 {
+		return best, 0
+	}
+	return best, float64(counts[best]) / float64(len(labels))
+}

@@ -1,0 +1,8 @@
+// Package dsp provides the signal-processing substrate used throughout the
+// CHRIS reproduction: descriptive statistics, an FFT, window functions,
+// IIR/FIR filtering, peak detection, spectral estimation and resampling.
+//
+// All routines operate on float64 slices sampled at a uniform rate. They are
+// allocation-conscious but favour clarity over micro-optimization: the hot
+// inference paths of the repository live in internal/models, not here.
+package dsp

@@ -1,0 +1,128 @@
+package dsp
+
+import "math"
+
+// Biquad is a second-order IIR filter section in direct form I with
+// normalized a0 = 1:
+//
+//	y[n] = b0*x[n] + b1*x[n-1] + b2*x[n-2] - a1*y[n-1] - a2*y[n-2]
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+
+	x1, x2 float64
+	y1, y2 float64
+}
+
+// Process filters one sample through the section.
+func (q *Biquad) Process(x float64) float64 {
+	y := q.B0*x + q.B1*q.x1 + q.B2*q.x2 - q.A1*q.y1 - q.A2*q.y2
+	q.x2, q.x1 = q.x1, x
+	q.y2, q.y1 = q.y1, y
+	return y
+}
+
+// Reset clears the filter state.
+func (q *Biquad) Reset() { q.x1, q.x2, q.y1, q.y2 = 0, 0, 0, 0 }
+
+// Filter applies the section to a whole signal, resetting state first.
+func (q *Biquad) Filter(x []float64) []float64 {
+	q.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = q.Process(v)
+	}
+	return out
+}
+
+// NewLowPass designs a Butterworth-style (Q = 1/sqrt2 by default) low-pass
+// biquad with cutoff fc at sample rate fs, following the Audio EQ Cookbook.
+func NewLowPass(fc, fs, q float64) *Biquad {
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	b0 := (1 - cosw) / 2
+	b1 := 1 - cosw
+	b2 := (1 - cosw) / 2
+	a0 := 1 + alpha
+	a1 := -2 * cosw
+	a2 := 1 - alpha
+	return &Biquad{B0: b0 / a0, B1: b1 / a0, B2: b2 / a0, A1: a1 / a0, A2: a2 / a0}
+}
+
+// NewHighPass designs a high-pass biquad with cutoff fc at sample rate fs.
+func NewHighPass(fc, fs, q float64) *Biquad {
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	b0 := (1 + cosw) / 2
+	b1 := -(1 + cosw)
+	b2 := (1 + cosw) / 2
+	a0 := 1 + alpha
+	a1 := -2 * cosw
+	a2 := 1 - alpha
+	return &Biquad{B0: b0 / a0, B1: b1 / a0, B2: b2 / a0, A1: a1 / a0, A2: a2 / a0}
+}
+
+// NewBandPass designs a constant-peak-gain band-pass biquad centred on fc
+// with quality factor q at sample rate fs.
+func NewBandPass(fc, fs, q float64) *Biquad {
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	b0 := alpha
+	b1 := 0.0
+	b2 := -alpha
+	a0 := 1 + alpha
+	a1 := -2 * cosw
+	a2 := 1 - alpha
+	return &Biquad{B0: b0 / a0, B1: b1 / a0, B2: b2 / a0, A1: a1 / a0, A2: a2 / a0}
+}
+
+// Cascade chains biquad sections; useful for higher-order Butterworth
+// responses built from second-order sections.
+type Cascade []*Biquad
+
+// Filter applies all sections in order, resetting their state first.
+func (c Cascade) Filter(x []float64) []float64 {
+	out := x
+	for _, q := range c {
+		out = q.Filter(out)
+	}
+	return out
+}
+
+// HeartBandPass returns the cascade used to isolate the cardiac band of a
+// PPG signal: pass 0.5–4 Hz (30–240 BPM), two band-pass sections.
+func HeartBandPass(fs float64) Cascade {
+	// Geometric centre of 0.5 and 4 Hz; moderate Q keeps the skirt wide
+	// enough to span the whole cardiac band.
+	fc := math.Sqrt(0.5 * 4)
+	return Cascade{NewBandPass(fc, fs, 0.55), NewBandPass(fc, fs, 0.55)}
+}
+
+// FIRFilter convolves x with the given taps (causal, zero-padded history),
+// producing an output of the same length.
+func FIRFilter(x, taps []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		var acc float64
+		for j, t := range taps {
+			if i-j < 0 {
+				break
+			}
+			acc += t * x[i-j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MovingAverageTaps returns n uniform taps summing to 1.
+func MovingAverageTaps(n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = 1 / float64(n)
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// toneGain measures the steady-state amplitude gain of a filter at
+// frequency f (Hz) for sample rate fs.
+func toneGain(filter func([]float64) []float64, f, fs float64) float64 {
+	n := int(fs * 20 / f)
+	if n < 4096 {
+		n = 4096
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	y := filter(x)
+	// Use the RMS of the trailing half to skip the transient.
+	return RMS(y[n/2:]) / RMS(x[n/2:])
+}
+
+func TestLowPassGainShape(t *testing.T) {
+	fs := 32.0
+	q := NewLowPass(2, fs, math.Sqrt2/2)
+	pass := toneGain(q.Filter, 0.25, fs)
+	stop := toneGain(q.Filter, 10, fs)
+	if pass < 0.95 || pass > 1.05 {
+		t.Errorf("low-pass passband gain = %v, want ~1", pass)
+	}
+	if stop > 0.1 {
+		t.Errorf("low-pass stopband gain = %v, want < 0.1", stop)
+	}
+}
+
+func TestHighPassGainShape(t *testing.T) {
+	fs := 32.0
+	q := NewHighPass(2, fs, math.Sqrt2/2)
+	pass := toneGain(q.Filter, 10, fs)
+	stop := toneGain(q.Filter, 0.1, fs)
+	if pass < 0.9 || pass > 1.1 {
+		t.Errorf("high-pass passband gain = %v, want ~1", pass)
+	}
+	if stop > 0.05 {
+		t.Errorf("high-pass stopband gain = %v, want < 0.05", stop)
+	}
+}
+
+func TestBandPassCentreGain(t *testing.T) {
+	fs := 32.0
+	fc := 1.5
+	q := NewBandPass(fc, fs, 1)
+	centre := toneGain(q.Filter, fc, fs)
+	low := toneGain(q.Filter, 0.05, fs)
+	high := toneGain(q.Filter, 12, fs)
+	if centre < 0.9 || centre > 1.1 {
+		t.Errorf("band-pass centre gain = %v, want ~1", centre)
+	}
+	if low > 0.15 || high > 0.15 {
+		t.Errorf("band-pass skirt gains = %v / %v, want small", low, high)
+	}
+}
+
+func TestHeartBandPassKeepsCardiacRejectsDrift(t *testing.T) {
+	fs := 32.0
+	c := HeartBandPass(fs)
+	cardiac := toneGain(c.Filter, 1.2, fs) // 72 BPM
+	drift := toneGain(c.Filter, 0.05, fs)  // baseline wander
+	hfNoise := toneGain(c.Filter, 14, fs)
+	if cardiac < 0.5 {
+		t.Errorf("cardiac band gain = %v, want > 0.5", cardiac)
+	}
+	if drift > 0.1 {
+		t.Errorf("drift gain = %v, want < 0.1", drift)
+	}
+	if hfNoise > 0.12 {
+		t.Errorf("HF noise gain = %v, want < 0.12", hfNoise)
+	}
+}
+
+func TestBiquadResetIdempotent(t *testing.T) {
+	q := NewLowPass(2, 32, 0.707)
+	x := []float64{1, 0, 0, 0, 0, 0}
+	y1 := q.Filter(x)
+	y2 := q.Filter(x) // Filter resets state, so responses must match
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("impulse responses differ at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestFIRMovingAverageDC(t *testing.T) {
+	taps := MovingAverageTaps(8)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 3
+	}
+	y := FIRFilter(x, taps)
+	// After the warm-up, a DC input must pass with unit gain.
+	for i := 8; i < len(y); i++ {
+		if math.Abs(y[i]-3) > 1e-12 {
+			t.Fatalf("FIR DC output[%d] = %v, want 3", i, y[i])
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	h := Hann(9)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[8]) > 1e-12 {
+		t.Errorf("Hann endpoints = %v, %v, want 0", h[0], h[8])
+	}
+	if math.Abs(h[4]-1) > 1e-12 {
+		t.Errorf("Hann centre = %v, want 1", h[4])
+	}
+	if got := Hann(1); got[0] != 1 {
+		t.Errorf("Hann(1) = %v, want [1]", got)
+	}
+	hm := Hamming(9)
+	if math.Abs(hm[4]-1) > 1e-9 {
+		t.Errorf("Hamming centre = %v, want 1", hm[4])
+	}
+	w := ApplyWindow([]float64{2, 2, 2}, []float64{0, 1, 0.5})
+	want := []float64{0, 2, 1}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Errorf("ApplyWindow = %v, want %v", w, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dsp
+
+// Peak describes a detected local maximum.
+type Peak struct {
+	Index int     // sample index of the maximum
+	Value float64 // signal value at the maximum
+}
+
+// FindPeaks returns local maxima of x that exceed height and are separated
+// by at least minDist samples. When two candidate peaks are closer than
+// minDist, the larger one wins.
+func FindPeaks(x []float64, height float64, minDist int) []Peak {
+	if minDist < 1 {
+		minDist = 1
+	}
+	var cand []Peak
+	for i := 1; i < len(x)-1; i++ {
+		if x[i] >= height && x[i] > x[i-1] && x[i] >= x[i+1] {
+			cand = append(cand, Peak{Index: i, Value: x[i]})
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	// Enforce the distance constraint greedily, preferring taller peaks.
+	keep := make([]bool, len(cand))
+	order := make([]int, len(cand))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending height (candidate count is small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && cand[order[j]].Value > cand[order[j-1]].Value; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	suppressed := make([]bool, len(cand))
+	for _, idx := range order {
+		if suppressed[idx] {
+			continue
+		}
+		keep[idx] = true
+		for j := range cand {
+			if j != idx && !keep[j] {
+				d := cand[j].Index - cand[idx].Index
+				if d < 0 {
+					d = -d
+				}
+				if d < minDist {
+					suppressed[j] = true
+				}
+			}
+		}
+	}
+	var out []Peak
+	for i, k := range keep {
+		if k {
+			out = append(out, cand[i])
+		}
+	}
+	return out
+}
+
+// Region is a half-open index interval [Start, End) of a signal.
+type Region struct {
+	Start, End int
+}
+
+// RegionsAbove returns the maximal runs of indices where x exceeds the
+// per-sample threshold thr (which must have the same length as x). It is
+// the "regions of interest" primitive of the Adaptive Threshold HR method.
+func RegionsAbove(x, thr []float64) []Region {
+	var out []Region
+	in := false
+	start := 0
+	for i := range x {
+		above := x[i] > thr[i]
+		switch {
+		case above && !in:
+			in, start = true, i
+		case !above && in:
+			in = false
+			out = append(out, Region{Start: start, End: i})
+		}
+	}
+	if in {
+		out = append(out, Region{Start: start, End: len(x)})
+	}
+	return out
+}
+
+// ArgMax returns the index of the maximum of x[start:end] in absolute
+// coordinates; end is exclusive. It returns start for empty ranges.
+func ArgMax(x []float64, start, end int) int {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(x) {
+		end = len(x)
+	}
+	best := start
+	for i := start + 1; i < end; i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,35 @@
+package dsp
+
+// ResampleLinear resamples x from rate fsIn to fsOut using linear
+// interpolation. The output spans the same time range as the input.
+func ResampleLinear(x []float64, fsIn, fsOut float64) []float64 {
+	if len(x) == 0 || fsIn <= 0 || fsOut <= 0 {
+		return nil
+	}
+	dur := float64(len(x)-1) / fsIn
+	n := int(dur*fsOut) + 1
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / fsOut * fsIn
+		j := int(t)
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := t - float64(j)
+		out[i] = x[j]*(1-frac) + x[j+1]*frac
+	}
+	return out
+}
+
+// Decimate keeps every k-th sample of x starting from index 0.
+func Decimate(x []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, 0, len(x)/k+1)
+	for i := 0; i < len(x); i += k {
+		out = append(out, x[i])
+	}
+	return out
+}

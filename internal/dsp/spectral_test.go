@@ -1,0 +1,134 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sine(n int, f, fs float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	return x
+}
+
+func TestDominantFrequencyPureTones(t *testing.T) {
+	fs := 32.0
+	for _, f := range []float64{0.8, 1.0, 1.5, 2.3, 3.1} {
+		x := sine(256, f, fs)
+		got := DominantFrequency(x, fs, 0.5, 4)
+		if math.Abs(got-f) > 0.05 {
+			t.Errorf("DominantFrequency(%v Hz) = %v", f, got)
+		}
+	}
+}
+
+func TestDominantFrequencyBandLimits(t *testing.T) {
+	fs := 32.0
+	// Strong out-of-band tone at 6 Hz plus weak in-band tone at 1.2 Hz.
+	x := sine(256, 6, fs)
+	weak := sine(256, 1.2, fs)
+	for i := range x {
+		x[i] = 2*x[i] + 0.3*weak[i]
+	}
+	got := DominantFrequency(x, fs, 0.5, 4)
+	if math.Abs(got-1.2) > 0.1 {
+		t.Errorf("band-limited dominant = %v, want 1.2", got)
+	}
+}
+
+func TestDominantFrequencyNoisyTone(t *testing.T) {
+	fs := 32.0
+	rng := rand.New(rand.NewSource(4))
+	x := sine(256, 1.7, fs)
+	for i := range x {
+		x[i] += 0.4 * rng.NormFloat64()
+	}
+	got := DominantFrequency(x, fs, 0.5, 4)
+	if math.Abs(got-1.7) > 0.15 {
+		t.Errorf("noisy dominant = %v, want 1.7", got)
+	}
+}
+
+func TestDominantFrequencyEmptyBand(t *testing.T) {
+	if got := DominantFrequency(sine(64, 1, 32), 32, 20, 30); got != 0 {
+		t.Errorf("empty band = %v, want 0", got)
+	}
+}
+
+func TestAutocorrelationPeriodicity(t *testing.T) {
+	fs := 32.0
+	f := 1.6 // period = 20 samples
+	x := sine(256, f, fs)
+	ac := Autocorrelation(x, 64)
+	if math.Abs(ac[0]-1) > 1e-9 {
+		t.Fatalf("ac[0] = %v, want 1", ac[0])
+	}
+	// The first major positive peak after lag 0 should sit at the period.
+	best, bestV := 0, -2.0
+	for lag := 10; lag <= 30; lag++ {
+		if ac[lag] > bestV {
+			best, bestV = lag, ac[lag]
+		}
+	}
+	if best != 20 {
+		t.Errorf("autocorrelation peak at lag %d, want 20", best)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	ac := Autocorrelation([]float64{0, 0, 0}, 2)
+	if ac[0] != 1 {
+		t.Errorf("zero-signal ac[0] = %v, want 1 by convention", ac[0])
+	}
+	if got := Autocorrelation(nil, 5); got != nil {
+		t.Errorf("nil input should give nil, got %v", got)
+	}
+}
+
+func TestBandPower(t *testing.T) {
+	fs := 32.0
+	x := sine(256, 1.5, fs)
+	in := BandPower(x, fs, 1, 2)
+	out := BandPower(x, fs, 5, 10)
+	if in < 0.9 {
+		t.Errorf("in-band power fraction = %v, want > 0.9", in)
+	}
+	if out > 0.05 {
+		t.Errorf("out-of-band power fraction = %v, want < 0.05", out)
+	}
+	if got := BandPower(make([]float64, 64), fs, 1, 2); got != 0 {
+		t.Errorf("silent BandPower = %v, want 0", got)
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	fsIn, fsOut := 64.0, 32.0
+	x := sine(128, 2, fsIn)
+	y := ResampleLinear(x, fsIn, fsOut)
+	want := sine(len(y), 2, fsOut)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 0.05 {
+			t.Fatalf("resample mismatch at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+	if ResampleLinear(nil, 1, 1) != nil {
+		t.Error("nil input should resample to nil")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(x, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Decimate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Decimate[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package eval provides the evaluation substrate: per-window record
+// building for the CHRIS profiler, MAE metrics in the paper's
+// activity-balanced form, per-activity breakdowns and ASCII table
+// rendering for the experiment harness.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/models"
+	"repro/internal/models/rf"
+)
+
+// BuildRecords runs every zoo model and the difficulty detector over the
+// windows once, producing the records the configuration profiler
+// aggregates. Running inference once per model — instead of once per
+// configuration — is what makes profiling all 60 configurations cheap.
+func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifier) ([]core.WindowRecord, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("eval: no windows")
+	}
+	if len(zoo) == 0 {
+		return nil, fmt.Errorf("eval: no models")
+	}
+	if cls == nil {
+		return nil, fmt.Errorf("eval: nil classifier")
+	}
+	recs := make([]core.WindowRecord, len(ws))
+	for i := range ws {
+		recs[i] = core.WindowRecord{
+			TrueHR:     ws[i].TrueHR,
+			Activity:   ws[i].Activity,
+			Difficulty: cls.DifficultyID(&ws[i]),
+			Pred:       make(map[string]float64, len(zoo)),
+		}
+	}
+	for _, m := range zoo {
+		name := m.Name()
+		for i := range ws {
+			recs[i].Pred[name] = m.EstimateHR(&ws[i])
+		}
+	}
+	return recs, nil
+}
+
+// ModelReport summarizes one estimator's accuracy.
+type ModelReport struct {
+	Name string
+	// MAE is the activity-balanced MAE (per-activity means averaged),
+	// matching the paper's equal-representation evaluation.
+	MAE float64
+	// OverallMAE weights every window equally (duration-weighted view).
+	OverallMAE float64
+	// PerActivity maps each activity to its MAE.
+	PerActivity map[dalia.Activity]float64
+	Windows     int
+}
+
+// EvaluateModel measures an estimator over labelled windows.
+func EvaluateModel(m models.HREstimator, ws []dalia.Window) (ModelReport, error) {
+	if len(ws) == 0 {
+		return ModelReport{}, fmt.Errorf("eval: no windows")
+	}
+	preds := make([]float64, len(ws))
+	for i := range ws {
+		preds[i] = m.EstimateHR(&ws[i])
+	}
+	return reportFromPreds(m.Name(), preds, ws), nil
+}
+
+// EvaluatePredictions builds a report from precomputed predictions (used
+// when records already hold every model's outputs).
+func EvaluatePredictions(name string, preds []float64, ws []dalia.Window) (ModelReport, error) {
+	if len(preds) != len(ws) || len(ws) == 0 {
+		return ModelReport{}, fmt.Errorf("eval: predictions/windows mismatch %d/%d", len(preds), len(ws))
+	}
+	return reportFromPreds(name, preds, ws), nil
+}
+
+func reportFromPreds(name string, preds []float64, ws []dalia.Window) ModelReport {
+	sum := map[dalia.Activity]float64{}
+	n := map[dalia.Activity]int{}
+	var total float64
+	for i := range ws {
+		err := models.AbsError(preds[i], ws[i].TrueHR)
+		sum[ws[i].Activity] += err
+		n[ws[i].Activity]++
+		total += err
+	}
+	per := make(map[dalia.Activity]float64, len(sum))
+	var balanced float64
+	var acts int
+	for _, a := range dalia.Activities() { // fixed order: deterministic sum
+		if n[a] == 0 {
+			continue
+		}
+		per[a] = sum[a] / float64(n[a])
+		balanced += per[a]
+		acts++
+	}
+	return ModelReport{
+		Name:        name,
+		MAE:         balanced / float64(acts),
+		OverallMAE:  total / float64(len(ws)),
+		PerActivity: per,
+		Windows:     len(ws),
+	}
+}
+
+// RecordsMAE computes the activity-balanced MAE a single model achieves
+// over profiling records (using its stored predictions).
+func RecordsMAE(recs []core.WindowRecord, model string) (float64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("eval: no records")
+	}
+	sum := map[dalia.Activity]float64{}
+	n := map[dalia.Activity]int{}
+	for i := range recs {
+		p, ok := recs[i].Pred[model]
+		if !ok {
+			return 0, fmt.Errorf("eval: records lack predictions for %q", model)
+		}
+		sum[recs[i].Activity] += models.AbsError(p, recs[i].TrueHR)
+		n[recs[i].Activity]++
+	}
+	var balanced float64
+	var acts int
+	for _, a := range dalia.Activities() { // fixed order: deterministic sum
+		if n[a] == 0 {
+			continue
+		}
+		balanced += sum[a] / float64(n[a])
+		acts++
+	}
+	return balanced / float64(acts), nil
+}

@@ -1,0 +1,98 @@
+package ble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowCalibration(t *testing.T) {
+	l := New()
+	if got := l.TransmitSeconds(WindowBytes) * 1e3; math.Abs(got-10.24) > 1e-6 {
+		t.Errorf("window time = %v ms, want 10.24", got)
+	}
+	if got := l.WindowTransmitEnergy().MilliJoules(); math.Abs(got-0.52) > 1e-6 {
+		t.Errorf("window energy = %v mJ, want 0.52", got)
+	}
+}
+
+func TestPacketsMonotonic(t *testing.T) {
+	l := New()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.Packets(x) <= l.Packets(y) && l.TransmitSeconds(x) <= l.TransmitSeconds(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketBoundaries(t *testing.T) {
+	l := New()
+	if l.Packets(1) != 1 || l.Packets(244) != 1 || l.Packets(245) != 2 {
+		t.Errorf("packet boundaries: %d %d %d", l.Packets(1), l.Packets(244), l.Packets(245))
+	}
+}
+
+func TestConnectionState(t *testing.T) {
+	l := New()
+	if !l.Connected() {
+		t.Error("link should start connected")
+	}
+	l.SetConnected(false)
+	if l.Connected() || l.ConnectedAt(0) {
+		t.Error("SetConnected(false) ignored")
+	}
+}
+
+func TestConnectivityTrace(t *testing.T) {
+	tr, err := NewConnectivityTrace(true, 10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{0, true}, {9.99, true}, {10.01, false}, {19.99, false},
+		{20.01, true}, {29.99, true}, {30.01, false}, {100, false},
+	}
+	for _, c := range cases {
+		if got := tr.UpAt(c.t); got != c.want {
+			t.Errorf("UpAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if _, err := NewConnectivityTrace(true, 5, 5); err == nil {
+		t.Error("non-increasing toggles accepted")
+	}
+}
+
+func TestTraceUptimeFraction(t *testing.T) {
+	tr, _ := NewConnectivityTrace(true, 10, 20)
+	// Up [0,10), down [10,20), up [20,40): 30/40 = 0.75.
+	if got := tr.UptimeFraction(40); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("uptime = %v, want 0.75", got)
+	}
+	if got := tr.UptimeFraction(0); got != 0 {
+		t.Errorf("zero horizon uptime = %v", got)
+	}
+	down, _ := NewConnectivityTrace(false, 5)
+	if got := down.UptimeFraction(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("down-start uptime = %v, want 0.5", got)
+	}
+}
+
+func TestLinkWithTrace(t *testing.T) {
+	l := New()
+	tr, _ := NewConnectivityTrace(true, 1)
+	l.UseTrace(tr)
+	if !l.ConnectedAt(0.5) {
+		t.Error("trace start should be up")
+	}
+	if l.ConnectedAt(1.5) {
+		t.Error("trace after toggle should be down")
+	}
+}

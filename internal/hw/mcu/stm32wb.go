@@ -1,0 +1,97 @@
+// Package mcu models the smartwatch processor of the HWatch platform: the
+// STM32WB55 SoC (Arm Cortex-M4 application core at 64 MHz).
+//
+// The model is calibrated against Table III of the paper, which reports
+// per-model cycle counts, latencies and per-prediction energies measured
+// with X-CUBE-AI on the real board. Latency = cycles/f reproduces the
+// paper's times exactly; a two-state power model fitted on the table
+// (P_active ≈ 25.45 mW, P_idle ≈ 97.2 µW, see DESIGN.md §4) reproduces the
+// idle-inclusive energies within 0.1 %.
+package mcu
+
+import (
+	"repro/internal/hw/power"
+	"repro/internal/models"
+)
+
+// Paper-calibrated cycle counts (Table III).
+const (
+	CyclesAT    = 100_000
+	CyclesSmall = 1_365_000
+	CyclesBig   = 103_160_000
+)
+
+// STM32WB55 models the application core.
+type STM32WB55 struct {
+	// FreqHz is the Cortex-M4 clock (64 MHz).
+	FreqHz float64
+	// ActivePower is the board power while computing.
+	ActivePower power.Power
+	// IdlePower is the board power in STOP mode between predictions.
+	IdlePower power.Power
+	// CyclesByModel maps zoo model names to measured cycle counts.
+	CyclesByModel map[string]int64
+	// CyclesPerOp estimates unknown models from their op count. The
+	// default derives from TimePPG-Small: 1.365 M cycles / 77.63 k paper
+	// ops ≈ 17.6 cycles per op (int8 inference including im2col and
+	// requantization overheads).
+	CyclesPerOp float64
+}
+
+// New returns the calibrated STM32WB55 model.
+func New() *STM32WB55 {
+	return &STM32WB55{
+		FreqHz:      64e6,
+		ActivePower: power.MilliWatts(25.45),
+		IdlePower:   power.MicroWatts(97.2),
+		CyclesByModel: map[string]int64{
+			"AT":            CyclesAT,
+			"TimePPG-Small": CyclesSmall,
+			"TimePPG-Big":   CyclesBig,
+		},
+		CyclesPerOp: 17.6,
+	}
+}
+
+// Cycles returns the cycle count of running the model once: the calibrated
+// figure when the model is known, otherwise an ops-based estimate.
+func (m *STM32WB55) Cycles(est models.HREstimator) int64 {
+	if c, ok := m.CyclesByModel[est.Name()]; ok {
+		return c
+	}
+	return int64(float64(est.Ops()) * m.CyclesPerOp)
+}
+
+// ComputeSeconds returns the single-inference latency.
+func (m *STM32WB55) ComputeSeconds(est models.HREstimator) float64 {
+	return float64(m.Cycles(est)) / m.FreqHz
+}
+
+// ActiveEnergy returns the compute-only energy of one inference (the
+// "active" view used in the paper's Table I and Fig. 4).
+func (m *STM32WB55) ActiveEnergy(est models.HREstimator) power.Energy {
+	return m.ActivePower.Over(m.ComputeSeconds(est))
+}
+
+// WindowEnergy returns the per-prediction energy including the idle energy
+// until the next window arrives (Table III's view; period is the window
+// stride, 2 s in the paper). Compute longer than the period gets no idle
+// share.
+func (m *STM32WB55) WindowEnergy(est models.HREstimator, periodSeconds float64) power.Energy {
+	active := m.ComputeSeconds(est)
+	idle := periodSeconds - active
+	if idle < 0 {
+		idle = 0
+	}
+	return m.ActivePower.Over(active) + m.IdlePower.Over(idle)
+}
+
+// IdleWindowEnergy is the energy of a whole idle period (no local compute;
+// used when the prediction is offloaded, on top of the BLE cost).
+func (m *STM32WB55) IdleWindowEnergy(periodSeconds, busySeconds float64) power.Energy {
+	idle := periodSeconds - busySeconds
+	if idle < 0 {
+		idle = 0
+	}
+	return m.IdlePower.Over(idle)
+}

@@ -1,0 +1,93 @@
+package mcu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+)
+
+type fakeModel struct {
+	name string
+	ops  int64
+}
+
+func (f fakeModel) Name() string                       { return f.name }
+func (f fakeModel) Ops() int64                         { return f.ops }
+func (f fakeModel) Params() int64                      { return 0 }
+func (f fakeModel) EstimateHR(w *dalia.Window) float64 { return 75 }
+
+var _ models.HREstimator = fakeModel{}
+
+func TestCalibratedCycles(t *testing.T) {
+	m := New()
+	cases := map[string]int64{
+		"AT":            100_000,
+		"TimePPG-Small": 1_365_000,
+		"TimePPG-Big":   103_160_000,
+	}
+	for name, want := range cases {
+		if got := m.Cycles(fakeModel{name: name}); got != want {
+			t.Errorf("%s cycles = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestOpsFallback(t *testing.T) {
+	m := New()
+	got := m.Cycles(fakeModel{name: "custom", ops: 10_000})
+	want := int64(10_000 * m.CyclesPerOp)
+	if got != want {
+		t.Errorf("fallback cycles = %d, want %d", got, want)
+	}
+}
+
+func TestLatencyFromCycles(t *testing.T) {
+	m := New()
+	// 64 MHz: 100k cycles = 1.5625 ms.
+	if got := m.ComputeSeconds(fakeModel{name: "AT"}); math.Abs(got-0.0015625) > 1e-12 {
+		t.Errorf("AT latency = %v", got)
+	}
+}
+
+func TestWindowEnergyComposition(t *testing.T) {
+	m := New()
+	est := fakeModel{name: "AT"}
+	active := m.ActiveEnergy(est)
+	win := m.WindowEnergy(est, 2.0)
+	idle := m.IdleWindowEnergy(2.0, m.ComputeSeconds(est))
+	if math.Abs(float64(win-(active+idle))) > 1e-15 {
+		t.Errorf("window energy %v != active %v + idle %v", win, active, idle)
+	}
+}
+
+func TestOverPeriodNoIdle(t *testing.T) {
+	m := New()
+	slow := fakeModel{name: "slow", ops: 1 << 40} // far beyond the period
+	if m.WindowEnergy(slow, 2.0) != m.ActiveEnergy(slow) {
+		t.Error("over-period model must get zero idle share")
+	}
+	if m.IdleWindowEnergy(1.0, 5.0) != 0 {
+		t.Error("negative idle must clamp to zero")
+	}
+}
+
+// Property: window energy is monotone in the period and never below the
+// active energy.
+func TestWindowEnergyMonotoneQuick(t *testing.T) {
+	m := New()
+	est := fakeModel{name: "AT"}
+	f := func(a, b uint16) bool {
+		pa, pb := float64(a)/100, float64(b)/100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		ea, eb := m.WindowEnergy(est, pa), m.WindowEnergy(est, pb)
+		return ea <= eb && ea >= m.ActiveEnergy(est)-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package phone models the offload target: a Raspberry Pi 3 (Arm
+// Cortex-A53 at 600 MHz) standing in for a smartphone SoC, as in the
+// paper's testbed, running TFLite-style int8 inference.
+//
+// Calibration follows Table III: the per-model latencies imply the cycle
+// counts below, and a single active power of 1.604 W reproduces all three
+// per-prediction energies. The paper does not charge the phone for idle
+// time (phones run tens of concurrent tasks), and neither does this model.
+package phone
+
+import (
+	"repro/internal/hw/power"
+	"repro/internal/models"
+)
+
+// Paper-implied cycle counts at 600 MHz (Table III latencies).
+const (
+	CyclesAT    = 600_000
+	CyclesSmall = 2_070_000
+	CyclesBig   = 9_576_000
+)
+
+// RPi3 models the phone-side processor.
+type RPi3 struct {
+	FreqHz        float64
+	ActivePower   power.Power
+	CyclesByModel map[string]int64
+	// CyclesPerOp estimates unknown models; the default derives from
+	// TimePPG-Big (9.576 M cycles / 12.27 M paper ops ≈ 0.78 — NEON dual
+	// issue on int8).
+	CyclesPerOp float64
+}
+
+// New returns the calibrated phone model.
+func New() *RPi3 {
+	return &RPi3{
+		FreqHz:      600e6,
+		ActivePower: power.Power(1.604),
+		CyclesByModel: map[string]int64{
+			"AT":            CyclesAT,
+			"TimePPG-Small": CyclesSmall,
+			"TimePPG-Big":   CyclesBig,
+		},
+		CyclesPerOp: 0.78,
+	}
+}
+
+// Cycles returns the cycle count of one inference.
+func (p *RPi3) Cycles(est models.HREstimator) int64 {
+	if c, ok := p.CyclesByModel[est.Name()]; ok {
+		return c
+	}
+	return int64(float64(est.Ops()) * p.CyclesPerOp)
+}
+
+// ComputeSeconds returns the single-inference latency.
+func (p *RPi3) ComputeSeconds(est models.HREstimator) float64 {
+	return float64(p.Cycles(est)) / p.FreqHz
+}
+
+// ComputeEnergy returns the phone-side energy of one inference.
+func (p *RPi3) ComputeEnergy(est models.HREstimator) power.Energy {
+	return p.ActivePower.Over(p.ComputeSeconds(est))
+}

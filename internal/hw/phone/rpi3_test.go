@@ -1,0 +1,65 @@
+package phone
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+)
+
+type fakeModel struct {
+	name string
+	ops  int64
+}
+
+func (f fakeModel) Name() string                       { return f.name }
+func (f fakeModel) Ops() int64                         { return f.ops }
+func (f fakeModel) Params() int64                      { return 0 }
+func (f fakeModel) EstimateHR(w *dalia.Window) float64 { return 75 }
+
+var _ models.HREstimator = fakeModel{}
+
+func TestCalibratedLatencies(t *testing.T) {
+	p := New()
+	cases := map[string]float64{ // milliseconds from Table III
+		"AT":            1.00,
+		"TimePPG-Small": 3.45,
+		"TimePPG-Big":   15.96,
+	}
+	for name, wantMs := range cases {
+		got := p.ComputeSeconds(fakeModel{name: name}) * 1e3
+		if math.Abs(got-wantMs) > wantMs*0.01 {
+			t.Errorf("%s latency = %.3f ms, want %.2f", name, got, wantMs)
+		}
+	}
+}
+
+func TestCalibratedEnergies(t *testing.T) {
+	p := New()
+	cases := map[string]float64{ // mJ from Table III
+		"AT":            1.60,
+		"TimePPG-Small": 5.54,
+		"TimePPG-Big":   25.60,
+	}
+	for name, wantMJ := range cases {
+		got := p.ComputeEnergy(fakeModel{name: name}).MilliJoules()
+		if math.Abs(got-wantMJ) > wantMJ*0.01 {
+			t.Errorf("%s energy = %.3f mJ, want %.2f", name, got, wantMJ)
+		}
+	}
+}
+
+func TestFallbackAndPower(t *testing.T) {
+	p := New()
+	got := p.Cycles(fakeModel{name: "custom", ops: 1_000_000})
+	if got != int64(1_000_000*p.CyclesPerOp) {
+		t.Errorf("fallback cycles = %d", got)
+	}
+	// Constant-power model: energy/latency ratio equals ActivePower.
+	est := fakeModel{name: "TimePPG-Big"}
+	ratio := float64(p.ComputeEnergy(est)) / p.ComputeSeconds(est)
+	if math.Abs(ratio-float64(p.ActivePower)) > 1e-9 {
+		t.Errorf("implied power %v, want %v", ratio, p.ActivePower)
+	}
+}

@@ -1,0 +1,96 @@
+// Package hw assembles the calibrated component models of the paper's
+// testbed — STM32WB55 smartwatch MCU, Raspberry Pi 3 phone proxy, BLE 5
+// link, PPG/IMU sensors, battery and converter — behind the cost queries
+// the CHRIS decision engine and the profiling pipeline consume.
+package hw
+
+import (
+	"repro/internal/hw/ble"
+	"repro/internal/hw/mcu"
+	"repro/internal/hw/phone"
+	"repro/internal/hw/power"
+	"repro/internal/hw/sensors"
+	"repro/internal/models"
+)
+
+// DefaultPeriodSeconds is the prediction period: one analysis window every
+// 2 s (the windowing stride of the paper).
+const DefaultPeriodSeconds = 2.0
+
+// System is the assembled platform.
+type System struct {
+	MCU       *mcu.STM32WB55
+	Phone     *phone.RPi3
+	Link      *ble.Link
+	PPG       *sensors.MAX30101
+	IMU       *sensors.LSM6DSM
+	Converter power.Converter
+	// PeriodSeconds is the prediction period used for idle accounting.
+	PeriodSeconds float64
+}
+
+// NewSystem returns the paper-calibrated platform.
+func NewSystem() *System {
+	return &System{
+		MCU:           mcu.New(),
+		Phone:         phone.New(),
+		Link:          ble.New(),
+		PPG:           sensors.NewMAX30101(),
+		IMU:           sensors.NewLSM6DSM(),
+		Converter:     power.NewTPS63031(),
+		PeriodSeconds: DefaultPeriodSeconds,
+	}
+}
+
+// WatchLocalEnergy is the idle-inclusive per-prediction watch energy of
+// running a model locally (the paper's Table III "Board" view).
+func (s *System) WatchLocalEnergy(est models.HREstimator) power.Energy {
+	return s.MCU.WindowEnergy(est, s.PeriodSeconds)
+}
+
+// WatchLocalActiveEnergy is the compute-only watch energy of one local
+// inference (the Table I / Fig. 4 view).
+func (s *System) WatchLocalActiveEnergy(est models.HREstimator) power.Energy {
+	return s.MCU.ActiveEnergy(est)
+}
+
+// WatchOffloadActiveEnergy is the watch-side energy of offloading one
+// prediction: the fixed BLE streaming cost (input size is model
+// independent, §IV-A).
+func (s *System) WatchOffloadActiveEnergy() power.Energy {
+	return s.Link.WindowTransmitEnergy()
+}
+
+// WatchOffloadEnergy is the idle-inclusive watch energy of an offloaded
+// prediction: radio time plus MCU idle for the rest of the period.
+func (s *System) WatchOffloadEnergy() power.Energy {
+	tx := s.Link.TransmitSeconds(ble.WindowBytes)
+	return s.Link.WindowTransmitEnergy() + s.MCU.IdleWindowEnergy(s.PeriodSeconds, tx)
+}
+
+// PhoneEnergy is the phone-side energy of one inference.
+func (s *System) PhoneEnergy(est models.HREstimator) power.Energy {
+	return s.Phone.ComputeEnergy(est)
+}
+
+// PredictionLatency returns the end-to-end latency of one prediction:
+// local compute, or BLE streaming plus phone compute when offloaded.
+func (s *System) PredictionLatency(est models.HREstimator, offloaded bool) float64 {
+	if !offloaded {
+		return s.MCU.ComputeSeconds(est)
+	}
+	return s.Link.TransmitSeconds(ble.WindowBytes) + s.Phone.ComputeSeconds(est)
+}
+
+// SensorWindowEnergy is the always-on front-end energy per period (PPG
+// acquisition + IMU with its ML core). It is accounted separately from the
+// MCU energies, which reproduce the paper's tables.
+func (s *System) SensorWindowEnergy() power.Energy {
+	return s.PPG.WindowEnergy(s.PeriodSeconds) + s.IMU.WindowEnergy(s.PeriodSeconds)
+}
+
+// BatteryDrainPerWindow converts a watch-side load energy into battery
+// drain through the converter.
+func (s *System) BatteryDrainPerWindow(load power.Energy) power.Energy {
+	return s.Converter.FromBattery(load)
+}

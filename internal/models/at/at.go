@@ -1,0 +1,90 @@
+// Package at implements the Adaptive Threshold heart-rate estimator (Shin
+// et al., "Adaptive threshold method for the peak detection of
+// photoplethysmographic waveform", 2009), the cheap classical model of the
+// CHRIS Models Zoo.
+//
+// Following the paper's description (§III-C): the rolling mean of the
+// signal over 24 samples forms an adaptive threshold; maximal runs where
+// the raw signal exceeds the threshold are the regions of interest; the
+// largest sample of each region is a peak; the median inter-peak interval
+// maps to the heart rate. The method needs ≈3 k operations per 8-second
+// window.
+package at
+
+import (
+	"repro/internal/dalia"
+	"repro/internal/dsp"
+	"repro/internal/models"
+)
+
+// ModelName is the zoo identifier for this estimator.
+const ModelName = "AT"
+
+// Estimator is the Adaptive Threshold HR estimator. The zero value is not
+// usable; call New.
+type Estimator struct {
+	// MeanWindow is the rolling-mean length in samples (paper: 24).
+	MeanWindow int
+	// MinHR/MaxHR bound plausible inter-beat intervals (BPM).
+	MinHR, MaxHR float64
+	// FallbackHR is returned when fewer than two plausible peaks exist.
+	FallbackHR float64
+	// Smooth is the length of a cheap moving-average pre-filter (≤1
+	// disables it). It costs ≈Smooth ops per sample and suppresses the
+	// sensor-noise double crossings that split regions of interest.
+	Smooth int
+}
+
+// New returns the estimator with the paper's parameters.
+func New() *Estimator {
+	return &Estimator{MeanWindow: 24, MinHR: 35, MaxHR: 210, FallbackHR: 75, Smooth: 4}
+}
+
+// Name implements models.HREstimator.
+func (e *Estimator) Name() string { return ModelName }
+
+// Ops implements models.HREstimator: the paper quotes ≈3 k operations per
+// window for AT.
+func (e *Estimator) Ops() int64 { return 3_000 }
+
+// Params implements models.HREstimator; AT has no trainable parameters.
+func (e *Estimator) Params() int64 { return 0 }
+
+// EstimateHR implements models.HREstimator.
+func (e *Estimator) EstimateHR(w *dalia.Window) float64 {
+	return models.ClampHR(e.estimate(w.PPG, w.Rate))
+}
+
+func (e *Estimator) estimate(ppg []float64, fs float64) float64 {
+	if len(ppg) < e.MeanWindow*2 || fs <= 0 {
+		return e.FallbackHR
+	}
+	if e.Smooth > 1 {
+		ppg = dsp.RollingMean(ppg, e.Smooth)
+	}
+	thr := dsp.RollingMean(ppg, e.MeanWindow)
+	regions := dsp.RegionsAbove(ppg, thr)
+	if len(regions) < 2 {
+		return e.FallbackHR
+	}
+	peaks := make([]int, 0, len(regions))
+	for _, r := range regions {
+		peaks = append(peaks, dsp.ArgMax(ppg, r.Start, r.End))
+	}
+	// Inter-beat intervals, keeping only physiologically plausible ones.
+	minGap := fs * 60 / e.MaxHR
+	maxGap := fs * 60 / e.MinHR
+	var ibis []float64
+	for i := 1; i < len(peaks); i++ {
+		gap := float64(peaks[i] - peaks[i-1])
+		if gap >= minGap && gap <= maxGap {
+			ibis = append(ibis, gap)
+		}
+	}
+	if len(ibis) == 0 {
+		return e.FallbackHR
+	}
+	return 60 * fs / dsp.Median(ibis)
+}
+
+var _ models.HREstimator = (*Estimator)(nil)

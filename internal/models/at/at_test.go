@@ -1,0 +1,122 @@
+package at
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/dsp"
+)
+
+func syntheticWindow(hr float64, noise float64, seedPhase float64) *dalia.Window {
+	const fs = 32.0
+	const n = 256
+	ppg := make([]float64, n)
+	for i := range ppg {
+		t := float64(i) / fs
+		phase := hr / 60 * t
+		// A narrow pulse train: strong fundamental with harmonics, like a
+		// real PPG beat.
+		frac := phase - math.Floor(phase)
+		ppg[i] = math.Exp(-(frac-0.3)*(frac-0.3)/(2*0.01)) +
+			noise*math.Sin(2*math.Pi*7*t+seedPhase)
+	}
+	return &dalia.Window{PPG: ppg, Rate: fs, TrueHR: hr}
+}
+
+func TestEstimateCleanPulseTrain(t *testing.T) {
+	e := New()
+	for _, hr := range []float64{55, 70, 90, 120, 150} {
+		w := syntheticWindow(hr, 0, 0)
+		got := e.EstimateHR(w)
+		if math.Abs(got-hr) > 3 {
+			t.Errorf("clean HR %v estimated as %v", hr, got)
+		}
+	}
+}
+
+func TestEstimateToleratesMildNoise(t *testing.T) {
+	e := New()
+	w := syntheticWindow(75, 0.15, 0.4)
+	got := e.EstimateHR(w)
+	if math.Abs(got-75) > 6 {
+		t.Errorf("mildly noisy HR estimated as %v, want ≈75", got)
+	}
+}
+
+func TestEstimateFallbacks(t *testing.T) {
+	e := New()
+	flat := &dalia.Window{PPG: make([]float64, 256), Rate: 32}
+	if got := e.EstimateHR(flat); got != e.FallbackHR {
+		t.Errorf("flat window estimate %v, want fallback %v", got, e.FallbackHR)
+	}
+	short := &dalia.Window{PPG: make([]float64, 10), Rate: 32}
+	if got := e.EstimateHR(short); got != e.FallbackHR {
+		t.Errorf("short window estimate %v, want fallback %v", got, e.FallbackHR)
+	}
+	if got := e.EstimateHR(&dalia.Window{PPG: make([]float64, 256), Rate: 0}); got != e.FallbackHR {
+		t.Errorf("zero-rate estimate %v, want fallback", got)
+	}
+}
+
+func TestEstimateClampsRange(t *testing.T) {
+	e := New()
+	// Whatever the input, output must stay in the physiological range.
+	w := syntheticWindow(70, 2.5, 1.0) // heavy interference
+	got := e.EstimateHR(w)
+	if got < 35 || got > 210 {
+		t.Errorf("estimate %v outside clamp range", got)
+	}
+}
+
+func TestOnSyntheticDataset(t *testing.T) {
+	// AT must be accurate on still windows and visibly degraded on
+	// high-motion windows — the asymmetry CHRIS exploits.
+	c := dalia.DefaultConfig()
+	c.DurationScale = 0.04
+	c.Subjects = 2
+	e := New()
+	var easyErr, hardErr []float64
+	for s := 0; s < c.Subjects; s++ {
+		rec, err := dalia.GenerateSubject(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range dalia.Windows(rec, c.WindowSamples, c.StrideSamples) {
+			if w.Purity < 1 {
+				continue
+			}
+			err := math.Abs(e.EstimateHR(&w) - w.TrueHR)
+			switch w.Activity {
+			case dalia.Sitting, dalia.Resting:
+				easyErr = append(easyErr, err)
+			case dalia.Walking, dalia.Stairs, dalia.TableSoccer:
+				hardErr = append(hardErr, err)
+			}
+		}
+	}
+	if len(easyErr) == 0 || len(hardErr) == 0 {
+		t.Fatal("missing activity coverage")
+	}
+	easy, hard := dsp.Mean(easyErr), dsp.Mean(hardErr)
+	t.Logf("AT MAE: easy %.2f BPM, hard %.2f BPM", easy, hard)
+	if easy > 12 {
+		t.Errorf("easy-window MAE %.2f too high", easy)
+	}
+	if hard < easy+4 {
+		t.Errorf("hard windows (%.2f) not clearly worse than easy (%.2f)", hard, easy)
+	}
+}
+
+func TestInterfaceMetadata(t *testing.T) {
+	e := New()
+	if e.Name() != "AT" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.Ops() != 3000 {
+		t.Errorf("Ops = %d, want 3000", e.Ops())
+	}
+	if e.Params() != 0 {
+		t.Errorf("Params = %d, want 0", e.Params())
+	}
+}

@@ -1,0 +1,43 @@
+// Package models defines the common interface of the heart-rate estimators
+// that populate the CHRIS Models Zoo, plus shared helpers.
+package models
+
+import "repro/internal/dalia"
+
+// HREstimator predicts heart rate from one analysis window.
+type HREstimator interface {
+	// Name identifies the model; the hardware performance models key
+	// their calibrated cycle counts on it.
+	Name() string
+	// EstimateHR returns the heart-rate estimate in BPM for the window.
+	EstimateHR(w *dalia.Window) float64
+	// Ops returns the approximate arithmetic operations (MACs for neural
+	// models) executed per window, used by generic cost models.
+	Ops() int64
+	// Params returns the number of trainable parameters (0 for classical
+	// algorithms).
+	Params() int64
+}
+
+// ClampHR bounds an estimate to the physiologically plausible range the
+// dataset generator also enforces.
+func ClampHR(bpm float64) float64 {
+	switch {
+	case bpm < 35:
+		return 35
+	case bpm > 210:
+		return 210
+	default:
+		return bpm
+	}
+}
+
+// AbsError returns |est - truth| in BPM; the evaluation substrate averages
+// it into the MAE the paper reports.
+func AbsError(est, truth float64) float64 {
+	d := est - truth
+	if d < 0 {
+		return -d
+	}
+	return d
+}

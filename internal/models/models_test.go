@@ -1,0 +1,45 @@
+package models
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClampHR(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-10, 35}, {0, 35}, {34.9, 35}, {35, 35},
+		{75, 75}, {210, 210}, {210.1, 210}, {1e9, 210},
+	}
+	for _, c := range cases {
+		if got := ClampHR(c.in); got != c.want {
+			t.Errorf("ClampHR(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAbsError(t *testing.T) {
+	if AbsError(1, 3) != 2 || AbsError(3, 1) != 2 || AbsError(5, 5) != 0 {
+		t.Error("AbsError basic cases failed")
+	}
+}
+
+// Property: ClampHR output is always within bounds and idempotent;
+// AbsError is symmetric and non-negative.
+func TestPropertiesQuick(t *testing.T) {
+	clamp := func(v float64) bool {
+		got := ClampHR(v)
+		return got >= 35 && got <= 210 && ClampHR(got) == got
+	}
+	if err := quick.Check(clamp, nil); err != nil {
+		t.Error(err)
+	}
+	abs := func(a, b float64) bool {
+		if a != a || b != b { // skip NaN
+			return true
+		}
+		return AbsError(a, b) == AbsError(b, a) && AbsError(a, b) >= 0
+	}
+	if err := quick.Check(abs, nil); err != nil {
+		t.Error(err)
+	}
+}

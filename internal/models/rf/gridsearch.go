@@ -1,0 +1,89 @@
+package rf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dalia"
+)
+
+// GridSearchResult reports one evaluated feature subset.
+type GridSearchResult struct {
+	Features []FeatureID
+	Accuracy float64
+}
+
+// GridSearch reproduces the paper's front-end selection: evaluate every
+// 4-feature subset of the library on a train/validation split and return
+// the subsets ranked by validation accuracy (best first).
+func GridSearch(train, val []dalia.Window, cfg Config) ([]GridSearchResult, error) {
+	if len(train) == 0 || len(val) == 0 {
+		return nil, fmt.Errorf("rf: grid search needs train and validation windows")
+	}
+	lib := AllFeatures()
+	// Extract the full library once per window; subsets view into it.
+	trainX := make([][]float64, len(train))
+	trainY := make([]int, len(train))
+	for i := range train {
+		trainX[i] = FeatureVector(&train[i], lib)
+		trainY[i] = int(train[i].Activity)
+	}
+	valX := make([][]float64, len(val))
+	valY := make([]int, len(val))
+	for i := range val {
+		valX[i] = FeatureVector(&val[i], lib)
+		valY[i] = int(val[i].Activity)
+	}
+
+	var results []GridSearchResult
+	subset := make([]FeatureID, 4)
+	var recurse func(start, k int)
+	pick := make([]int, 0, 4)
+	recurse = func(start, k int) {
+		if k == 4 {
+			for i, fi := range pick {
+				subset[i] = lib[fi]
+			}
+			acc := evalSubset(trainX, trainY, valX, valY, pick, subset, cfg)
+			results = append(results, GridSearchResult{
+				Features: append([]FeatureID(nil), subset...),
+				Accuracy: acc,
+			})
+			return
+		}
+		for i := start; i <= len(lib)-(4-k); i++ {
+			pick = append(pick, i)
+			recurse(i+1, k+1)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	recurse(0, 0)
+	sort.SliceStable(results, func(a, b int) bool { return results[a].Accuracy > results[b].Accuracy })
+	return results, nil
+}
+
+func evalSubset(trainX [][]float64, trainY []int, valX [][]float64, valY []int, cols []int, feats []FeatureID, cfg Config) float64 {
+	sub := func(rows [][]float64) [][]float64 {
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			v := make([]float64, len(cols))
+			for j, c := range cols {
+				v[j] = r[c]
+			}
+			out[i] = v
+		}
+		return out
+	}
+	cls, err := TrainVectors(sub(trainX), trainY, dalia.NumActivities, feats, cfg)
+	if err != nil {
+		return 0
+	}
+	sx := sub(valX)
+	good := 0
+	for i, x := range sx {
+		if cls.PredictVector(x) == valY[i] {
+			good++
+		}
+	}
+	return float64(good) / float64(len(sx))
+}

@@ -1,0 +1,34 @@
+package rf
+
+// FeatureImportance estimates each front-end feature's contribution by
+// split frequency: the fraction of internal nodes (across all trees) that
+// test the feature. It is the cheap, deployment-friendly importance proxy
+// used to sanity-check the grid-search outcome.
+func (c *Classifier) FeatureImportance() map[FeatureID]float64 {
+	counts := make([]int, len(c.feats))
+	total := 0
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		if n.Feature >= 0 && n.Feature < len(counts) {
+			counts[n.Feature]++
+			total++
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	for _, t := range c.trees {
+		walk(t)
+	}
+	out := make(map[FeatureID]float64, len(c.feats))
+	for i, f := range c.feats {
+		if total > 0 {
+			out[f] = float64(counts[i]) / float64(total)
+		} else {
+			out[f] = 0
+		}
+	}
+	return out
+}

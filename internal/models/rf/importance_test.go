@@ -1,0 +1,33 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFeatureImportance(t *testing.T) {
+	ws := datasetWindows(t, 3, 0.04)
+	cls, err := Train(ws, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := cls.FeatureImportance()
+	if len(imp) != len(cls.Features()) {
+		t.Fatalf("importance for %d features, want %d", len(imp), len(cls.Features()))
+	}
+	var sum float64
+	for f, v := range imp {
+		if v < 0 || v > 1 {
+			t.Errorf("importance[%v] = %v out of [0,1]", f, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+	// Movement-scale features must dominate activity discrimination: the
+	// energy/std pair should together hold a solid share of the splits.
+	if imp[FeatEnergy]+imp[FeatStd] < 0.25 {
+		t.Errorf("energy+std importance %v suspiciously low", imp[FeatEnergy]+imp[FeatStd])
+	}
+}

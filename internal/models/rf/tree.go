@@ -1,0 +1,182 @@
+package rf
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one CART node; leaves carry a class distribution.
+type treeNode struct {
+	// Internal nodes.
+	Feature   int
+	Threshold float64
+	Left      *treeNode
+	Right     *treeNode
+	// Leaves (Left == nil).
+	Class int
+}
+
+// isLeaf reports whether the node is terminal.
+func (n *treeNode) isLeaf() bool { return n.Left == nil }
+
+// predict walks the tree for one feature vector.
+func (n *treeNode) predict(x []float64) int {
+	for !n.isLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}
+
+// depth returns the node depth (leaf = 1).
+func (n *treeNode) depth() int {
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := n.Left.depth(), n.Right.depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// nodeCount returns the total node count.
+func (n *treeNode) nodeCount() int {
+	if n.isLeaf() {
+		return 1
+	}
+	return 1 + n.Left.nodeCount() + n.Right.nodeCount()
+}
+
+// giniSplit finds the best (feature, threshold) split of the sample set by
+// Gini impurity, considering only the features listed in featIdx. It
+// returns gain <= 0 when no useful split exists.
+func giniSplit(x [][]float64, y []int, idx []int, featIdx []int, classes int) (feature int, threshold, gain float64) {
+	parent := giniOf(y, idx, classes)
+	n := float64(len(idx))
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+
+	vals := make([]float64, 0, len(idx))
+	order := make([]int, len(idx))
+	for _, f := range featIdx {
+		vals = vals[:0]
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		// Incremental class counts left/right of the split point.
+		leftCounts := make([]int, classes)
+		rightCounts := make([]int, classes)
+		for _, i := range order {
+			rightCounts[y[i]]++
+		}
+		nLeft := 0.0
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftCounts[y[i]]++
+			rightCounts[y[i]]--
+			nLeft++
+			v, next := x[i][f], x[order[k+1]][f]
+			if v == next {
+				continue
+			}
+			nRight := n - nLeft
+			g := parent - (nLeft/n)*giniCounts(leftCounts, nLeft) - (nRight/n)*giniCounts(rightCounts, nRight)
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThr = (v + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+func giniOf(y []int, idx []int, classes int) float64 {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return giniCounts(counts, float64(len(idx)))
+}
+
+func giniCounts(counts []int, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+func majorityClass(y []int, idx []int, classes int) int {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// growTree builds a CART tree on the index subset with depth and leaf-size
+// limits; featSub features are drawn per node when featSub < total.
+func growTree(x [][]float64, y []int, idx []int, classes, maxDepth, minLeaf, featSub int, rng *rand.Rand) *treeNode {
+	if maxDepth <= 1 || len(idx) < 2*minLeaf || pure(y, idx) {
+		return &treeNode{Class: majorityClass(y, idx, classes)}
+	}
+	nFeat := len(x[0])
+	var featIdx []int
+	if featSub > 0 && featSub < nFeat {
+		perm := rng.Perm(nFeat)
+		featIdx = perm[:featSub]
+	} else {
+		featIdx = make([]int, nFeat)
+		for i := range featIdx {
+			featIdx[i] = i
+		}
+	}
+	f, thr, gain := giniSplit(x, y, idx, featIdx, classes)
+	if f < 0 || gain <= 1e-12 {
+		return &treeNode{Class: majorityClass(y, idx, classes)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][f] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return &treeNode{Class: majorityClass(y, idx, classes)}
+	}
+	return &treeNode{
+		Feature:   f,
+		Threshold: thr,
+		Left:      growTree(x, y, left, classes, maxDepth-1, minLeaf, featSub, rng),
+		Right:     growTree(x, y, right, classes, maxDepth-1, minLeaf, featSub, rng),
+	}
+}
+
+func pure(y []int, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+// Package spectral implements a frequency-domain HR estimator in the
+// spirit of the classical SPC-era pipelines the paper discusses
+// (TROIKA-like: spectrum extraction, accelerometer-guided motion-artifact
+// masking, peak tracking). It is not part of the paper's three-model zoo,
+// but CHRIS is explicitly orthogonal to the predictor set (§III-C), and a
+// mid-cost classical model is the natural fourth member for zoo-extension
+// experiments (see examples/customzoo for the plug-in mechanics).
+package spectral
+
+import (
+	"repro/internal/dalia"
+	"repro/internal/dsp"
+	"repro/internal/models"
+)
+
+// ModelName is the zoo identifier.
+const ModelName = "SpectralTrack"
+
+// Estimator estimates HR as the strongest cardiac-band PPG component that
+// does not coincide with a dominant accelerometer component, with a
+// tracking prior pulling ambiguous windows toward the previous estimate.
+type Estimator struct {
+	// Band limits in Hz (cardiac band 0.5–4 Hz ≈ 30–240 BPM).
+	LoHz, HiHz float64
+	// MaskHz is the half-width around each accelerometer peak within
+	// which PPG spectral peaks are rejected as motion artifacts.
+	MaskHz float64
+	// MotionRMS is the minimum gravity-free accelerometer RMS (g) for the
+	// artifact mask to engage; below it the accel spectrum is noise and
+	// masking would erase legitimate cardiac bins.
+	MotionRMS float64
+	// TrackWeight in [0,1) biases the pick toward the previous HR; 0
+	// disables tracking (stateless operation).
+	TrackWeight float64
+	// state
+	lastHR float64
+}
+
+// New returns the estimator with its default parameters.
+func New() *Estimator {
+	return &Estimator{LoHz: 0.5, HiHz: 4.0, MaskHz: 0.12, MotionRMS: 0.08, TrackWeight: 0.35}
+}
+
+// Name implements models.HREstimator.
+func (e *Estimator) Name() string { return ModelName }
+
+// Ops implements models.HREstimator: two 256-point FFTs plus peak logic.
+func (e *Estimator) Ops() int64 { return 60_000 }
+
+// Params implements models.HREstimator.
+func (e *Estimator) Params() int64 { return 0 }
+
+// Reset clears the tracking state.
+func (e *Estimator) Reset() { e.lastHR = 0 }
+
+// EstimateHR implements models.HREstimator.
+func (e *Estimator) EstimateHR(w *dalia.Window) float64 {
+	ppg := append([]float64(nil), w.PPG...)
+	dsp.Detrend(ppg)
+	power, binHz := dsp.Periodogram(ppg, w.Rate)
+
+	// Accelerometer reference spectrum for artifact masking — engaged
+	// only when the wrist is actually moving.
+	mag := w.AccelMagnitude()
+	dsp.Detrend(mag)
+	maskedBins := make([]bool, len(power))
+	if dsp.RMS(mag) >= e.MotionRMS {
+		accPower, accBin := dsp.Periodogram(mag, w.Rate)
+		maskedBins = e.motionBins(accPower, accBin, len(power), binHz)
+	}
+
+	lo := int(e.LoHz/binHz) + 1
+	hi := int(e.HiHz / binHz)
+	if hi >= len(power) {
+		hi = len(power) - 1
+	}
+	bestScore := -1.0
+	bestHz := 0.0
+	for k := lo; k <= hi; k++ {
+		if maskedBins[k] {
+			continue
+		}
+		score := power[k]
+		if e.TrackWeight > 0 && e.lastHR > 0 {
+			f := float64(k) * binHz
+			dev := (f*60 - e.lastHR) / 20 // BPM deviation, 20-BPM scale
+			if dev < 0 {
+				dev = -dev
+			}
+			score *= 1 / (1 + e.TrackWeight*dev)
+		}
+		if score > bestScore {
+			bestScore = score
+			bestHz = float64(k) * binHz
+		}
+	}
+	if bestHz == 0 {
+		// Every candidate was masked: fall back to the unmasked dominant
+		// component (better than returning nothing).
+		bestHz = dsp.DominantFrequency(ppg, w.Rate, e.LoHz, e.HiHz)
+	}
+	hr := models.ClampHR(bestHz * 60)
+	if hr > 0 {
+		e.lastHR = hr
+	}
+	return hr
+}
+
+// motionBins flags cardiac-band bins whose frequency lies within MaskHz of
+// a strong accelerometer component (≥ 25 % of the accel spectrum's peak).
+func (e *Estimator) motionBins(accPower []float64, accBin float64, nBins int, binHz float64) []bool {
+	masked := make([]bool, nBins)
+	var peak float64
+	for k := 1; k < len(accPower); k++ {
+		if accPower[k] > peak {
+			peak = accPower[k]
+		}
+	}
+	if peak == 0 {
+		return masked
+	}
+	for k := 1; k < len(accPower); k++ {
+		if accPower[k] < 0.25*peak {
+			continue
+		}
+		f := float64(k) * accBin
+		if f < e.LoHz-e.MaskHz || f > e.HiHz+e.MaskHz {
+			continue
+		}
+		loBin := int((f - e.MaskHz) / binHz)
+		hiBin := int((f+e.MaskHz)/binHz) + 1
+		for b := loBin; b <= hiBin && b < nBins; b++ {
+			if b >= 0 {
+				masked[b] = true
+			}
+		}
+	}
+	return masked
+}
+
+var _ models.HREstimator = (*Estimator)(nil)

@@ -1,0 +1,108 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/dsp"
+	"repro/internal/models/at"
+)
+
+func TestEstimateOnDataset(t *testing.T) {
+	c := dalia.DefaultConfig()
+	c.Subjects = 2
+	c.DurationScale = 0.04
+	e := New()
+	var easy, hard []float64
+	for s := 0; s < c.Subjects; s++ {
+		rec, err := dalia.GenerateSubject(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Reset()
+		for _, w := range dalia.Windows(rec, c.WindowSamples, c.StrideSamples) {
+			if w.Purity < 1 {
+				continue
+			}
+			err := math.Abs(e.EstimateHR(&w) - w.TrueHR)
+			switch w.Activity {
+			case dalia.Sitting, dalia.Resting, dalia.Working:
+				easy = append(easy, err)
+			case dalia.Walking, dalia.Stairs, dalia.TableSoccer:
+				hard = append(hard, err)
+			}
+		}
+	}
+	easyMAE, hardMAE := dsp.Mean(easy), dsp.Mean(hard)
+	t.Logf("spectral MAE: easy %.2f, hard %.2f BPM", easyMAE, hardMAE)
+	if easyMAE > 6 {
+		t.Errorf("easy-window MAE %.2f too high", easyMAE)
+	}
+	// The artifact masking should keep the spectral tracker clearly ahead
+	// of the time-domain AT on hard windows.
+	atEst := at.New()
+	var atHard []float64
+	for s := 0; s < c.Subjects; s++ {
+		rec, _ := dalia.GenerateSubject(c, s)
+		for _, w := range dalia.Windows(rec, c.WindowSamples, c.StrideSamples) {
+			if w.Purity < 1 {
+				continue
+			}
+			switch w.Activity {
+			case dalia.Walking, dalia.Stairs, dalia.TableSoccer:
+				atHard = append(atHard, math.Abs(atEst.EstimateHR(&w)-w.TrueHR))
+			}
+		}
+	}
+	if hardMAE >= dsp.Mean(atHard) {
+		t.Errorf("spectral hard MAE %.2f not better than AT's %.2f", hardMAE, dsp.Mean(atHard))
+	}
+}
+
+func TestTrackingHelpsContinuity(t *testing.T) {
+	c := dalia.DefaultConfig()
+	c.Subjects = 1
+	c.DurationScale = 0.03
+	rec, err := dalia.GenerateSubject(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := dalia.Windows(rec, c.WindowSamples, c.StrideSamples)
+
+	run := func(track float64) float64 {
+		e := New()
+		e.TrackWeight = track
+		var sum float64
+		var n int
+		for i := range ws {
+			sum += math.Abs(e.EstimateHR(&ws[i]) - ws[i].TrueHR)
+			n++
+		}
+		return sum / float64(n)
+	}
+	with := run(0.35)
+	without := run(0)
+	t.Logf("MAE with tracking %.2f, without %.2f", with, without)
+	if with > without+1.5 {
+		t.Errorf("tracking made things much worse: %.2f vs %.2f", with, without)
+	}
+}
+
+func TestInterface(t *testing.T) {
+	e := New()
+	if e.Name() != ModelName || e.Ops() <= 0 || e.Params() != 0 {
+		t.Error("interface metadata wrong")
+	}
+	// Flat window: estimator must return something clamped, not panic.
+	w := &dalia.Window{PPG: make([]float64, 256), AccelX: make([]float64, 256),
+		AccelY: make([]float64, 256), AccelZ: make([]float64, 256), Rate: 32}
+	got := e.EstimateHR(w)
+	if got < 35 || got > 210 {
+		t.Errorf("flat-window estimate %v out of range", got)
+	}
+	e.Reset()
+	if e.lastHR != 0 {
+		t.Error("Reset failed")
+	}
+}

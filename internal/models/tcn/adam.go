@@ -1,0 +1,48 @@
+package tcn
+
+import "math"
+
+// Adam is the Adam optimizer over a fixed parameter set.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	params []*Param
+	m, v   [][]float32
+	t      int
+	L2     float64 // decoupled weight decay (AdamW style)
+}
+
+// NewAdam returns an optimizer for the given parameters with standard
+// hyper-parameters.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params, L2: 1e-5}
+	for _, p := range params {
+		a.m = append(a.m, make([]float32, len(p.W)))
+		a.v = append(a.v, make([]float32, len(p.W)))
+	}
+	return a
+}
+
+// Step applies one update using the gradients currently accumulated in the
+// parameters, then clears them.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.W {
+			g := float64(p.G[i])
+			mi := a.Beta1*float64(m[i]) + (1-a.Beta1)*g
+			vi := a.Beta2*float64(v[i]) + (1-a.Beta2)*g*g
+			m[i], v[i] = float32(mi), float32(vi)
+			mHat := mi / bc1
+			vHat := vi / bc2
+			upd := a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.L2*float64(p.W[i]))
+			p.W[i] -= float32(upd)
+			p.G[i] = 0
+		}
+	}
+}

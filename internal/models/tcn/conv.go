@@ -1,0 +1,139 @@
+package tcn
+
+import "fmt"
+
+// Conv1D is a 1-D convolution with dilation and stride over channel-major
+// tensors. Padding is symmetric "same-style": total = (K-1)·dilation,
+// split evenly (left gets the remainder), so stride-1 layers preserve T and
+// stride-2 layers halve it.
+type Conv1D struct {
+	InC, OutC int
+	Kernel    int
+	Dilation  int
+	Stride    int
+
+	Weight *Param // shape [OutC, InC, Kernel]
+	Bias   *Param // shape [OutC]
+
+	x *Tensor // cached input for backward
+}
+
+// NewConv1D constructs the layer (weights must be initialized separately).
+func NewConv1D(name string, inC, outC, kernel, dilation, stride int) *Conv1D {
+	if inC <= 0 || outC <= 0 || kernel <= 0 || dilation <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("tcn: invalid conv config %d→%d k%d d%d s%d", inC, outC, kernel, dilation, stride))
+	}
+	return &Conv1D{
+		InC: inC, OutC: outC, Kernel: kernel, Dilation: dilation, Stride: stride,
+		Weight: NewParam(name+".w", outC, inC, kernel),
+		Bias:   NewParam(name+".b", outC),
+	}
+}
+
+func (l *Conv1D) padLeft() int {
+	total := (l.Kernel - 1) * l.Dilation
+	return total - total/2
+}
+
+// OutShape implements Layer. With total padding (K-1)·d the effective
+// length is inT + (K-1)·d and each window spans (K-1)·d + 1 samples, so the
+// number of stride-S positions is ⌊(inT-1)/S⌋ + 1: stride-1 layers preserve
+// T, stride-2 layers halve it (rounding up).
+func (l *Conv1D) OutShape(inC, inT int) (int, int) {
+	return l.OutC, (inT-1)/l.Stride + 1
+}
+
+// MACs implements Layer.
+func (l *Conv1D) MACs(inC, inT int) int64 {
+	_, outT := l.OutShape(inC, inT)
+	return int64(l.OutC) * int64(l.InC) * int64(l.Kernel) * int64(outT)
+}
+
+// Name implements Layer.
+func (l *Conv1D) Name() string { return l.Weight.Name[:len(l.Weight.Name)-2] }
+
+// Params implements Layer.
+func (l *Conv1D) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// CloneForWorker implements Layer.
+func (l *Conv1D) CloneForWorker() Layer {
+	c := *l
+	c.Weight = l.Weight.shadow()
+	c.Bias = l.Bias.shadow()
+	c.x = nil
+	return &c
+}
+
+// Forward implements Layer.
+func (l *Conv1D) Forward(x *Tensor) *Tensor {
+	if x.C != l.InC {
+		panic(fmt.Sprintf("tcn: conv %s expects %d channels, got %d", l.Name(), l.InC, x.C))
+	}
+	l.x = x
+	_, outT := l.OutShape(x.C, x.T)
+	y := NewTensor(l.OutC, outT)
+	padL := l.padLeft()
+	K, D, S := l.Kernel, l.Dilation, l.Stride
+	for o := 0; o < l.OutC; o++ {
+		yRow := y.Row(o)
+		bias := l.Bias.W[o]
+		for t := range yRow {
+			yRow[t] = bias
+		}
+		for ci := 0; ci < l.InC; ci++ {
+			xRow := x.Row(ci)
+			wBase := (o*l.InC + ci) * K
+			for k := 0; k < K; k++ {
+				w := l.Weight.W[wBase+k]
+				if w == 0 {
+					continue
+				}
+				off := k*D - padL
+				for t := 0; t < outT; t++ {
+					src := t*S + off
+					if src >= 0 && src < x.T {
+						yRow[t] += w * xRow[src]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Conv1D) Backward(grad *Tensor) *Tensor {
+	x := l.x
+	gx := NewTensor(x.C, x.T)
+	padL := l.padLeft()
+	K, D, S := l.Kernel, l.Dilation, l.Stride
+	for o := 0; o < l.OutC; o++ {
+		gRow := grad.Row(o)
+		var gb float32
+		for _, g := range gRow {
+			gb += g
+		}
+		l.Bias.G[o] += gb
+		for ci := 0; ci < l.InC; ci++ {
+			xRow := x.Row(ci)
+			gxRow := gx.Row(ci)
+			wBase := (o*l.InC + ci) * K
+			for k := 0; k < K; k++ {
+				off := k*D - padL
+				var gw float32
+				w := l.Weight.W[wBase+k]
+				for t, g := range gRow {
+					src := t*S + off
+					if src >= 0 && src < x.T {
+						gw += g * xRow[src]
+						gxRow[src] += g * w
+					}
+				}
+				l.Weight.G[wBase+k] += gw
+			}
+		}
+	}
+	return gx
+}
+
+var _ Layer = (*Conv1D)(nil)

@@ -1,0 +1,14 @@
+// Package tcn implements the Temporal Convolutional Network substrate of
+// the reproduction: tensors, dilated 1-D convolutions with full manual
+// backpropagation, an Adam trainer, the TimePPG-Small and TimePPG-Big
+// topologies of the paper (3 blocks × 3 convolutional layers, two dilated
+// and one strided per block), post-training int8 quantization and a
+// file format for trained weights.
+//
+// The paper trains its networks with PyTorch and quantization-aware
+// training and deploys them with X-CUBE-AI / TFLite; this package replaces
+// that tooling with a self-contained pure-Go pipeline (see DESIGN.md §1).
+// Absolute accuracy differs from the paper, but the architecture — and
+// therefore the parameter/operation counts feeding the energy models — is
+// preserved, as is the accuracy ordering between the zoo models.
+package tcn

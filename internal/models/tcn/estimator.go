@@ -1,0 +1,84 @@
+package tcn
+
+import (
+	"fmt"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+)
+
+// HRNet adapts a trained network to the models.HREstimator interface, in
+// float or int8-quantized form. It is not safe for concurrent use (layer
+// activation caches are reused between calls); clone one per goroutine.
+type HRNet struct {
+	net  *Network
+	qnet *QuantNetwork
+	// UseQuantized selects the int8 path when a quantized form exists.
+	UseQuantized bool
+}
+
+// NewEstimator wraps a trained float network.
+func NewEstimator(net *Network) *HRNet { return &HRNet{net: net} }
+
+// Quantize builds the int8 deployment form using the calibration windows
+// and enables it.
+func (h *HRNet) Quantize(calib []*Tensor) error {
+	q, err := Quantize(h.net, calib)
+	if err != nil {
+		return err
+	}
+	h.qnet = q
+	h.UseQuantized = true
+	return nil
+}
+
+// Quantized reports whether the int8 path is active.
+func (h *HRNet) Quantized() bool { return h.UseQuantized && h.qnet != nil }
+
+// Network returns the underlying float network.
+func (h *HRNet) Network() *Network { return h.net }
+
+// Name implements models.HREstimator.
+func (h *HRNet) Name() string { return h.net.Topology }
+
+// Ops implements models.HREstimator (MACs per inference).
+func (h *HRNet) Ops() int64 { return h.net.MACs() }
+
+// Params implements models.HREstimator.
+func (h *HRNet) Params() int64 { return h.net.NumParams() }
+
+// EstimateHR implements models.HREstimator.
+func (h *HRNet) EstimateHR(w *dalia.Window) float64 {
+	x := WindowToTensor(w)
+	var z float32
+	if h.Quantized() {
+		z = h.qnet.Forward(x)
+	} else {
+		z = h.net.Forward(x)
+	}
+	return models.ClampHR(DenormalizeHR(z))
+}
+
+// Clone returns an estimator sharing weights but owning private activation
+// caches, for concurrent evaluation.
+func (h *HRNet) Clone() *HRNet {
+	c := &HRNet{net: h.net.CloneForWorker(), UseQuantized: h.UseQuantized}
+	if h.qnet != nil {
+		// The quantized net's mutable state is one small output buffer;
+		// rebuilding it per clone would need calibration data, so clones
+		// fall back to the float path unless quantization is re-run.
+		c.qnet = h.qnet
+	}
+	return c
+}
+
+var _ models.HREstimator = (*HRNet)(nil)
+
+// String summarizes the estimator.
+func (h *HRNet) String() string {
+	mode := "float32"
+	if h.Quantized() {
+		mode = "int8"
+	}
+	return fmt.Sprintf("%s(%s, %d params, %d MACs)", h.Name(), mode, h.Params(), h.Ops())
+}

@@ -1,0 +1,148 @@
+package tcn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Weight-file format (little endian):
+//
+//	magic "TCNW"  version u32  topologyLen u32  topology bytes
+//	paramCount u32, then per parameter: nameLen u32, name, elems u32,
+//	elems × float32.
+//
+// Weights are matched to the freshly built topology by order and name, so
+// a file can only be loaded into the topology that produced it.
+
+const weightMagic = "TCNW"
+const weightVersion = 1
+
+// Save writes the network's parameters to path.
+func Save(n *Network, path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(weightMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(weightVersion)); err != nil {
+		return err
+	}
+	if err := writeString(w, n.Topology); err != nil {
+		return err
+	}
+	params := n.Params()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(w, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.W))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.W); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads a weight file and returns a network of the stored topology.
+func Load(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != weightMagic {
+		return nil, fmt.Errorf("tcn: %s is not a weight file", path)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != weightVersion {
+		return nil, fmt.Errorf("tcn: unsupported weight version %d", version)
+	}
+	topology, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	var net *Network
+	switch topology {
+	case SmallName:
+		net = NewTimePPGSmall()
+	case BigName:
+		net = NewTimePPGBig()
+	default:
+		return nil, fmt.Errorf("tcn: unknown topology %q", topology)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return nil, fmt.Errorf("tcn: %s has %d params, topology needs %d", path, count, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		if name != p.Name {
+			return nil, fmt.Errorf("tcn: parameter order mismatch: file %q, topology %q", name, p.Name)
+		}
+		var elems uint32
+		if err := binary.Read(r, binary.LittleEndian, &elems); err != nil {
+			return nil, err
+		}
+		if int(elems) != len(p.W) {
+			return nil, fmt.Errorf("tcn: parameter %q has %d elements, want %d", name, elems, len(p.W))
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.W); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("tcn: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,299 @@
+package tcn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; Backward accumulates parameter gradients and returns the
+// input gradient (nil is allowed for the first layer of a network).
+type Layer interface {
+	Name() string
+	Forward(x *Tensor) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+	// CloneForWorker returns a copy sharing weights but owning private
+	// gradient buffers and activation caches, for data-parallel training.
+	CloneForWorker() Layer
+	OutShape(inC, inT int) (int, int)
+	MACs(inC, inT int) int64
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name string
+	x    *Tensor
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// CloneForWorker implements Layer.
+func (l *ReLU) CloneForWorker() Layer { return &ReLU{name: l.name} }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape(c, t int) (int, int) { return c, t }
+
+// MACs implements Layer.
+func (l *ReLU) MACs(c, t int) int64 { return 0 }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *Tensor) *Tensor {
+	l.x = x
+	y := NewTensor(x.C, x.T)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *Tensor) *Tensor {
+	gx := NewTensor(grad.C, grad.T)
+	for i, v := range l.x.Data {
+		if v > 0 {
+			gx.Data[i] = grad.Data[i]
+		}
+	}
+	return gx
+}
+
+// ChannelAffine applies a learned per-channel scale and shift. It stands in
+// for the paper's batch-normalization layers with their statistics folded
+// into the affine transform (the standard deployment-time form).
+type ChannelAffine struct {
+	Gamma *Param
+	Beta  *Param
+	x     *Tensor
+}
+
+// NewChannelAffine returns an affine layer over c channels, initialized to
+// identity.
+func NewChannelAffine(name string, c int) *ChannelAffine {
+	l := &ChannelAffine{Gamma: NewParam(name+".g", c), Beta: NewParam(name+".b", c)}
+	for i := range l.Gamma.W {
+		l.Gamma.W[i] = 1
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *ChannelAffine) Name() string { return l.Gamma.Name[:len(l.Gamma.Name)-2] }
+
+// Params implements Layer.
+func (l *ChannelAffine) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// CloneForWorker implements Layer.
+func (l *ChannelAffine) CloneForWorker() Layer {
+	return &ChannelAffine{Gamma: l.Gamma.shadow(), Beta: l.Beta.shadow()}
+}
+
+// OutShape implements Layer.
+func (l *ChannelAffine) OutShape(c, t int) (int, int) { return c, t }
+
+// MACs implements Layer.
+func (l *ChannelAffine) MACs(c, t int) int64 { return int64(c) * int64(t) }
+
+// Forward implements Layer.
+func (l *ChannelAffine) Forward(x *Tensor) *Tensor {
+	l.x = x
+	y := NewTensor(x.C, x.T)
+	for c := 0; c < x.C; c++ {
+		g, b := l.Gamma.W[c], l.Beta.W[c]
+		xr, yr := x.Row(c), y.Row(c)
+		for t := range xr {
+			yr[t] = g*xr[t] + b
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *ChannelAffine) Backward(grad *Tensor) *Tensor {
+	gx := NewTensor(grad.C, grad.T)
+	for c := 0; c < grad.C; c++ {
+		var gg, gb float32
+		xr, gr, gxr := l.x.Row(c), grad.Row(c), gx.Row(c)
+		g := l.Gamma.W[c]
+		for t := range gr {
+			gg += gr[t] * xr[t]
+			gb += gr[t]
+			gxr[t] = gr[t] * g
+		}
+		l.Gamma.G[c] += gg
+		l.Beta.G[c] += gb
+	}
+	return gx
+}
+
+// Flatten reshapes C×T into (C·T)×1.
+type Flatten struct {
+	name string
+	c, t int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// CloneForWorker implements Layer.
+func (l *Flatten) CloneForWorker() Layer { return &Flatten{name: l.name} }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape(c, t int) (int, int) { return c * t, 1 }
+
+// MACs implements Layer.
+func (l *Flatten) MACs(c, t int) int64 { return 0 }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *Tensor) *Tensor {
+	l.c, l.t = x.C, x.T
+	return &Tensor{C: x.C * x.T, T: 1, Data: x.Data}
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *Tensor) *Tensor {
+	return &Tensor{C: l.c, T: l.t, Data: grad.Data}
+}
+
+// Dense is a fully connected layer over flattened tensors (T must be 1).
+type Dense struct {
+	In, Out int
+	Weight  *Param // shape [Out, In]
+	Bias    *Param // shape [Out]
+	x       *Tensor
+}
+
+// NewDense constructs the layer.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{In: in, Out: out, Weight: NewParam(name+".w", out, in), Bias: NewParam(name+".b", out)}
+}
+
+// Name implements Layer.
+func (l *Dense) Name() string { return l.Weight.Name[:len(l.Weight.Name)-2] }
+
+// Params implements Layer.
+func (l *Dense) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// CloneForWorker implements Layer.
+func (l *Dense) CloneForWorker() Layer {
+	c := *l
+	c.Weight = l.Weight.shadow()
+	c.Bias = l.Bias.shadow()
+	c.x = nil
+	return &c
+}
+
+// OutShape implements Layer.
+func (l *Dense) OutShape(c, t int) (int, int) { return l.Out, 1 }
+
+// MACs implements Layer.
+func (l *Dense) MACs(c, t int) int64 { return int64(l.In) * int64(l.Out) }
+
+// Forward implements Layer.
+func (l *Dense) Forward(x *Tensor) *Tensor {
+	if x.Numel() != l.In {
+		panic(fmt.Sprintf("tcn: dense %s expects %d inputs, got %d", l.Name(), l.In, x.Numel()))
+	}
+	l.x = x
+	y := NewTensor(l.Out, 1)
+	for o := 0; o < l.Out; o++ {
+		acc := l.Bias.W[o]
+		row := l.Weight.W[o*l.In : (o+1)*l.In]
+		for i, v := range x.Data {
+			acc += row[i] * v
+		}
+		y.Data[o] = acc
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Dense) Backward(grad *Tensor) *Tensor {
+	gx := NewTensor(l.x.C, l.x.T)
+	for o := 0; o < l.Out; o++ {
+		g := grad.Data[o]
+		l.Bias.G[o] += g
+		wRow := l.Weight.W[o*l.In : (o+1)*l.In]
+		gRow := l.Weight.G[o*l.In : (o+1)*l.In]
+		for i, v := range l.x.Data {
+			gRow[i] += g * v
+			gx.Data[i] += g * wRow[i]
+		}
+	}
+	return gx
+}
+
+// InputNorm standardizes each channel of the input window to zero mean and
+// unit variance. It is a fixed preprocessing layer (no parameters); being
+// first, its Backward returns nil.
+type InputNorm struct {
+	name string
+}
+
+// NewInputNorm returns the preprocessing layer.
+func NewInputNorm(name string) *InputNorm { return &InputNorm{name: name} }
+
+// Name implements Layer.
+func (l *InputNorm) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *InputNorm) Params() []*Param { return nil }
+
+// CloneForWorker implements Layer.
+func (l *InputNorm) CloneForWorker() Layer { return &InputNorm{name: l.name} }
+
+// OutShape implements Layer.
+func (l *InputNorm) OutShape(c, t int) (int, int) { return c, t }
+
+// MACs implements Layer.
+func (l *InputNorm) MACs(c, t int) int64 { return int64(3 * c * t) }
+
+// Forward implements Layer.
+func (l *InputNorm) Forward(x *Tensor) *Tensor {
+	y := NewTensor(x.C, x.T)
+	for c := 0; c < x.C; c++ {
+		xr, yr := x.Row(c), y.Row(c)
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(len(xr))
+		var varAcc float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			varAcc += d * d
+		}
+		std := math.Sqrt(varAcc/float64(len(xr))) + 1e-6
+		for t, v := range xr {
+			yr[t] = float32((float64(v) - mean) / std)
+		}
+	}
+	return y
+}
+
+// Backward implements Layer: InputNorm must be the first layer, so no
+// upstream gradient is needed.
+func (l *InputNorm) Backward(grad *Tensor) *Tensor { return nil }
+
+var (
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*ChannelAffine)(nil)
+	_ Layer = (*Flatten)(nil)
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*InputNorm)(nil)
+)

@@ -1,0 +1,21 @@
+package tcn
+
+import "math"
+
+// HuberLoss returns the Huber loss and its derivative with respect to the
+// prediction, for target y and prediction p (both in normalized HR units).
+// The Huber transition delta is 1.0 (≈ HRStd BPM), which keeps occasional
+// impossible windows from dominating the gradient.
+func HuberLoss(p, y float32) (loss, grad float32) {
+	const delta = 1.0
+	d := float64(p - y)
+	ad := math.Abs(d)
+	if ad <= delta {
+		return float32(0.5 * d * d), float32(d)
+	}
+	sign := 1.0
+	if d < 0 {
+		sign = -1
+	}
+	return float32(delta * (ad - 0.5*delta)), float32(sign * delta)
+}

@@ -1,0 +1,370 @@
+package tcn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements post-training int8 quantization, standing in for
+// the paper's quantization-aware training + X-CUBE-AI/TFLite deployment:
+// per-output-channel symmetric weights, per-tensor symmetric activations,
+// int32 accumulation and float rescaling between layers (the same numeric
+// scheme CMSIS-NN-class kernels use, with a float multiplier in place of
+// the fixed-point one for clarity).
+
+// FoldAffine returns a copy of the network with every ChannelAffine that
+// follows a Conv1D folded into the convolution's weights and bias — the
+// standard batch-norm folding step that precedes deployment. The two
+// networks compute identical functions.
+func FoldAffine(n *Network) *Network {
+	out := &Network{Topology: n.Topology, InC: n.InC, InT: n.InT}
+	for i := 0; i < len(n.Layers); i++ {
+		conv, isConv := n.Layers[i].(*Conv1D)
+		if isConv && i+1 < len(n.Layers) {
+			if aff, isAff := n.Layers[i+1].(*ChannelAffine); isAff {
+				folded := NewConv1D(conv.Name(), conv.InC, conv.OutC, conv.Kernel, conv.Dilation, conv.Stride)
+				for o := 0; o < conv.OutC; o++ {
+					g := aff.Gamma.W[o]
+					base := o * conv.InC * conv.Kernel
+					for j := 0; j < conv.InC*conv.Kernel; j++ {
+						folded.Weight.W[base+j] = conv.Weight.W[base+j] * g
+					}
+					folded.Bias.W[o] = conv.Bias.W[o]*g + aff.Beta.W[o]
+				}
+				out.Layers = append(out.Layers, folded)
+				i++ // skip the affine
+				continue
+			}
+		}
+		out.Layers = append(out.Layers, cloneLayerDeep(n.Layers[i]))
+	}
+	return out
+}
+
+// cloneLayerDeep copies a layer including its weights (unlike
+// CloneForWorker, which shares them).
+func cloneLayerDeep(l Layer) Layer {
+	switch v := l.(type) {
+	case *Conv1D:
+		c := NewConv1D(v.Name(), v.InC, v.OutC, v.Kernel, v.Dilation, v.Stride)
+		copy(c.Weight.W, v.Weight.W)
+		copy(c.Bias.W, v.Bias.W)
+		return c
+	case *Dense:
+		d := NewDense(v.Name(), v.In, v.Out)
+		copy(d.Weight.W, v.Weight.W)
+		copy(d.Bias.W, v.Bias.W)
+		return d
+	case *ChannelAffine:
+		a := NewChannelAffine(v.Name(), len(v.Gamma.W))
+		copy(a.Gamma.W, v.Gamma.W)
+		copy(a.Beta.W, v.Beta.W)
+		return a
+	default:
+		return l.CloneForWorker()
+	}
+}
+
+// qOp is one stage of the quantized pipeline.
+type qOp interface {
+	forward(x *qTensor) *qTensor
+	macs() int64
+}
+
+// qTensor is an int8 activation tensor with its dequantization scale.
+type qTensor struct {
+	C, T  int
+	Data  []int8
+	Scale float32 // real value = Data * Scale
+}
+
+func quantizeTensor(x *Tensor, scale float32) *qTensor {
+	q := &qTensor{C: x.C, T: x.T, Data: make([]int8, len(x.Data)), Scale: scale}
+	for i, v := range x.Data {
+		q.Data[i] = clampI8(float32(math.Round(float64(v / scale))))
+	}
+	return q
+}
+
+func clampI8(v float32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return int8(v)
+}
+
+// qConv is an int8 convolution (or, with T==1 semantics preserved, the same
+// geometry as its float counterpart) with fused optional ReLU.
+type qConv struct {
+	inC, outC, kernel, dilation, stride int
+	weight                              []int8    // [outC][inC][kernel]
+	wScale                              []float32 // per output channel
+	bias                                []int32   // quantized at inScale*wScale[o]
+	inScale, outScale                   float32
+	relu                                bool
+	inT                                 int
+}
+
+func (l *qConv) padLeft() int {
+	total := (l.kernel - 1) * l.dilation
+	return total - total/2
+}
+
+func (l *qConv) forward(x *qTensor) *qTensor {
+	outT := (x.T-1)/l.stride + 1
+	y := &qTensor{C: l.outC, T: outT, Data: make([]int8, l.outC*outT), Scale: l.outScale}
+	padL := l.padLeft()
+	for o := 0; o < l.outC; o++ {
+		mult := l.inScale * l.wScale[o] / l.outScale
+		for t := 0; t < outT; t++ {
+			acc := l.bias[o]
+			for ci := 0; ci < l.inC; ci++ {
+				wBase := (o*l.inC + ci) * l.kernel
+				xBase := ci * x.T
+				for k := 0; k < l.kernel; k++ {
+					src := t*l.stride + k*l.dilation - padL
+					if src >= 0 && src < x.T {
+						acc += int32(l.weight[wBase+k]) * int32(x.Data[xBase+src])
+					}
+				}
+			}
+			v := float32(math.Round(float64(float32(acc) * mult)))
+			if l.relu && v < 0 {
+				v = 0
+			}
+			y.Data[o*outT+t] = clampI8(v)
+		}
+	}
+	return y
+}
+
+func (l *qConv) macs() int64 {
+	outT := (l.inT-1)/l.stride + 1
+	return int64(l.outC) * int64(l.inC) * int64(l.kernel) * int64(outT)
+}
+
+// qDense is the int8 fully connected layer; the final one dequantizes to
+// float via outScale on a single element.
+type qDense struct {
+	in, out  int
+	weight   []int8
+	wScale   []float32
+	bias     []int32
+	inScale  float32
+	outScale float32
+	relu     bool
+	last     bool
+	lastOut  []float32
+}
+
+func (l *qDense) forward(x *qTensor) *qTensor {
+	if l.last {
+		l.lastOut = make([]float32, l.out)
+	}
+	y := &qTensor{C: l.out, T: 1, Data: make([]int8, l.out), Scale: l.outScale}
+	for o := 0; o < l.out; o++ {
+		acc := l.bias[o]
+		row := l.weight[o*l.in : (o+1)*l.in]
+		for i, xv := range x.Data {
+			acc += int32(row[i]) * int32(xv)
+		}
+		realV := float32(acc) * l.inScale * l.wScale[o]
+		if l.relu && realV < 0 {
+			realV = 0
+		}
+		if l.last {
+			l.lastOut[o] = realV
+			continue
+		}
+		y.Data[o] = clampI8(float32(math.Round(float64(realV / l.outScale))))
+	}
+	return y
+}
+
+func (l *qDense) macs() int64 { return int64(l.in) * int64(l.out) }
+
+// QuantNetwork is the int8 deployment form of a trained network.
+type QuantNetwork struct {
+	Topology string
+	InC, InT int
+	norm     *InputNorm
+	inScale  float32
+	ops      []qOp
+}
+
+// Quantize converts a trained float network into int8 form, calibrating
+// activation scales on the given tensors (typically a few hundred windows
+// from the validation split). The affine layers are folded first.
+func Quantize(n *Network, calib []*Tensor) (*QuantNetwork, error) {
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("tcn: quantization requires calibration data")
+	}
+	folded := FoldAffine(n)
+
+	// Pass 1: record per-stage activation max-abs on the float net.
+	maxAbs := make([]float32, len(folded.Layers)+1)
+	for _, x := range calib {
+		cur := x
+		for li, l := range folded.Layers {
+			if li == 0 {
+				if _, ok := l.(*InputNorm); !ok {
+					return nil, fmt.Errorf("tcn: quantization expects InputNorm first, got %T", l)
+				}
+			}
+			cur = l.Forward(cur)
+			for _, v := range cur.Data {
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				if a > maxAbs[li] {
+					maxAbs[li] = a
+				}
+			}
+		}
+	}
+	scaleOf := func(li int) float32 {
+		m := maxAbs[li]
+		if m == 0 {
+			m = 1
+		}
+		return m / 127
+	}
+
+	q := &QuantNetwork{Topology: n.Topology, InC: n.InC, InT: n.InT}
+	var inScale float32
+	denseSeen := 0
+	totalDense := 0
+	for _, l := range folded.Layers {
+		if _, ok := l.(*Dense); ok {
+			totalDense++
+		}
+	}
+	curT := n.InT
+	for li, l := range folded.Layers {
+		switch v := l.(type) {
+		case *InputNorm:
+			q.norm = v
+			inScale = scaleOf(li) // scale of the normalized input
+			q.inScale = inScale
+		case *ReLU:
+			// Fuse into the preceding conv/dense and re-point both the
+			// op's output scale and the running input scale at the
+			// post-ReLU calibration (the clipped range quantizes finer).
+			s := scaleOf(li)
+			switch prev := q.ops[len(q.ops)-1].(type) {
+			case *qConv:
+				prev.relu = true
+				prev.outScale = s
+			case *qDense:
+				prev.relu = true
+				prev.outScale = s
+			}
+			inScale = s
+		case *Conv1D:
+			qc := &qConv{
+				inC: v.InC, outC: v.OutC, kernel: v.Kernel,
+				dilation: v.Dilation, stride: v.Stride,
+				weight:   make([]int8, len(v.Weight.W)),
+				wScale:   make([]float32, v.OutC),
+				bias:     make([]int32, v.OutC),
+				inScale:  inScale,
+				outScale: scaleOf(li),
+				inT:      curT,
+			}
+			perCh := v.InC * v.Kernel
+			for o := 0; o < v.OutC; o++ {
+				var m float32
+				for j := 0; j < perCh; j++ {
+					a := v.Weight.W[o*perCh+j]
+					if a < 0 {
+						a = -a
+					}
+					if a > m {
+						m = a
+					}
+				}
+				if m == 0 {
+					m = 1
+				}
+				s := m / 127
+				qc.wScale[o] = s
+				for j := 0; j < perCh; j++ {
+					qc.weight[o*perCh+j] = clampI8(float32(math.Round(float64(v.Weight.W[o*perCh+j] / s))))
+				}
+				qc.bias[o] = int32(math.Round(float64(v.Bias.W[o] / (inScale * s))))
+			}
+			q.ops = append(q.ops, qc)
+			inScale = qc.outScale
+			curT = (curT-1)/v.Stride + 1
+		case *Flatten:
+			// No-op on the flat int8 buffer; shapes are implicit.
+		case *Dense:
+			denseSeen++
+			qd := &qDense{
+				in: v.In, out: v.Out,
+				weight:   make([]int8, len(v.Weight.W)),
+				wScale:   make([]float32, v.Out),
+				bias:     make([]int32, v.Out),
+				inScale:  inScale,
+				outScale: scaleOf(li),
+				last:     denseSeen == totalDense,
+			}
+			for o := 0; o < v.Out; o++ {
+				var m float32
+				for j := 0; j < v.In; j++ {
+					a := v.Weight.W[o*v.In+j]
+					if a < 0 {
+						a = -a
+					}
+					if a > m {
+						m = a
+					}
+				}
+				if m == 0 {
+					m = 1
+				}
+				s := m / 127
+				qd.wScale[o] = s
+				for j := 0; j < v.In; j++ {
+					qd.weight[o*v.In+j] = clampI8(float32(math.Round(float64(v.Weight.W[o*v.In+j] / s))))
+				}
+				qd.bias[o] = int32(math.Round(float64(v.Bias.W[o] / (inScale * s))))
+			}
+			q.ops = append(q.ops, qd)
+			inScale = qd.outScale
+		default:
+			return nil, fmt.Errorf("tcn: cannot quantize layer %T", l)
+		}
+	}
+	return q, nil
+}
+
+// Forward runs int8 inference and returns the scalar float output.
+func (q *QuantNetwork) Forward(x *Tensor) float32 {
+	normed := q.norm.Forward(x)
+	cur := quantizeTensor(normed, q.inScale)
+	var lastDense *qDense
+	for _, op := range q.ops {
+		cur = op.forward(cur)
+		if d, ok := op.(*qDense); ok && d.last {
+			lastDense = d
+		}
+	}
+	if lastDense == nil || len(lastDense.lastOut) != 1 {
+		panic("tcn: quantized network lacks a scalar head")
+	}
+	return lastDense.lastOut[0]
+}
+
+// MACs returns the int8 multiply-accumulate count per inference.
+func (q *QuantNetwork) MACs() int64 {
+	var total int64
+	for _, op := range q.ops {
+		total += op.macs()
+	}
+	return total
+}

@@ -1,0 +1,140 @@
+package tcn
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func trainedTinyNet(t *testing.T) (*Network, []Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	train := freqCodedSamples(rng, 128)
+	net := NewTimePPGSmall()
+	net.InitWeights(13)
+	cfg := TrainConfig{Epochs: 8, BatchSize: 8, LR: 4e-3, Seed: 1, Workers: 4, LRDecay: 0.9}
+	if _, err := Fit(net, train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return net, train
+}
+
+func TestFoldAffineEquivalence(t *testing.T) {
+	net, train := trainedTinyNet(t)
+	folded := FoldAffine(net)
+	for i := 0; i < 16; i++ {
+		x := train[i].X
+		a := net.Forward(x)
+		b := folded.Forward(x)
+		if math.Abs(float64(a-b)) > 1e-3 {
+			t.Fatalf("folded output %v differs from original %v", b, a)
+		}
+	}
+	// Folding must remove every ChannelAffine.
+	for _, l := range folded.Layers {
+		if _, ok := l.(*ChannelAffine); ok {
+			t.Fatal("affine layer survived folding")
+		}
+	}
+}
+
+func TestQuantizedCloseToFloat(t *testing.T) {
+	net, train := trainedTinyNet(t)
+	var calib []*Tensor
+	for i := 0; i < 32; i++ {
+		calib = append(calib, train[i].X)
+	}
+	q, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for i := 32; i < 64; i++ {
+		f := DenormalizeHR(net.Forward(train[i].X))
+		qv := DenormalizeHR(q.Forward(train[i].X))
+		d := math.Abs(f - qv)
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	t.Logf("max float-vs-int8 divergence: %.3f BPM", maxDiff)
+	// int8 with per-channel scales should stay within a few BPM.
+	if maxDiff > 8 {
+		t.Errorf("quantized divergence %.2f BPM too large", maxDiff)
+	}
+	if q.MACs() <= 0 {
+		t.Error("quantized MAC count not positive")
+	}
+}
+
+func TestQuantizeNeedsCalibration(t *testing.T) {
+	net := NewTimePPGSmall()
+	net.InitWeights(1)
+	if _, err := Quantize(net, nil); err == nil {
+		t.Error("quantization without calibration accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net, train := trainedTinyNet(t)
+	path := filepath.Join(t.TempDir(), "small.tcnw")
+	if err := Save(net, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Topology != net.Topology {
+		t.Fatalf("topology %q, want %q", loaded.Topology, net.Topology)
+	}
+	for i := 0; i < 8; i++ {
+		a := net.Forward(train[i].X)
+		b := loaded.Forward(train[i].X)
+		if a != b {
+			t.Fatalf("loaded network output %v differs from original %v", b, a)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.tcnw")
+	if err := Save(NewTimePPGSmall(), path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.tcnw")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestEstimatorInterface(t *testing.T) {
+	net, train := trainedTinyNet(t)
+	est := NewEstimator(net)
+	if est.Name() != SmallName {
+		t.Errorf("Name = %q", est.Name())
+	}
+	if est.Ops() != net.MACs() || est.Params() != net.NumParams() {
+		t.Error("Ops/Params mismatch with network")
+	}
+	var calib []*Tensor
+	for i := 0; i < 16; i++ {
+		calib = append(calib, train[i].X)
+	}
+	if err := est.Quantize(calib); err != nil {
+		t.Fatal(err)
+	}
+	if !est.Quantized() {
+		t.Error("Quantized() false after Quantize")
+	}
+	if s := est.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := NewTimePPGSmall().Describe()
+	if len(d) < 100 {
+		t.Errorf("Describe too short: %q", d)
+	}
+}

@@ -1,0 +1,75 @@
+package tcn
+
+import "fmt"
+
+// Tensor is a dense rank-2 array of float32 laid out channel-major:
+// element (c, t) lives at Data[c*T+t]. A flattened vector is represented
+// with T = 1.
+type Tensor struct {
+	C, T int
+	Data []float32
+}
+
+// NewTensor allocates a zeroed C×T tensor.
+func NewTensor(c, t int) *Tensor {
+	if c < 0 || t < 0 {
+		panic(fmt.Sprintf("tcn: invalid tensor shape %d×%d", c, t))
+	}
+	return &Tensor{C: c, T: t, Data: make([]float32, c*t)}
+}
+
+// At returns element (c, t).
+func (x *Tensor) At(c, t int) float32 { return x.Data[c*x.T+t] }
+
+// Set assigns element (c, t).
+func (x *Tensor) Set(c, t int, v float32) { x.Data[c*x.T+t] = v }
+
+// Row returns the slice backing channel c.
+func (x *Tensor) Row(c int) []float32 { return x.Data[c*x.T : (c+1)*x.T] }
+
+// Clone returns a deep copy.
+func (x *Tensor) Clone() *Tensor {
+	out := NewTensor(x.C, x.T)
+	copy(out.Data, x.Data)
+	return out
+}
+
+// Zero clears all elements.
+func (x *Tensor) Zero() {
+	for i := range x.Data {
+		x.Data[i] = 0
+	}
+}
+
+// Numel returns the number of elements.
+func (x *Tensor) Numel() int { return len(x.Data) }
+
+// Param is one learnable parameter array with its gradient accumulator.
+type Param struct {
+	Name  string
+	Shape []int
+	W     []float32
+	G     []float32
+}
+
+// NewParam allocates a parameter with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return &Param{Name: name, Shape: shape, W: make([]float32, n), G: make([]float32, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// shadow returns a view of the parameter sharing W but with a private
+// gradient buffer; worker clones use it for race-free accumulation.
+func (p *Param) shadow() *Param {
+	return &Param{Name: p.Name, Shape: p.Shape, W: p.W, G: make([]float32, len(p.G))}
+}

@@ -1,0 +1,96 @@
+package tcn
+
+import "fmt"
+
+// Model names used across the repository and keyed by the hardware
+// performance models.
+const (
+	SmallName = "TimePPG-Small"
+	BigName   = "TimePPG-Big"
+)
+
+// InputChannels and InputSamples fix the window format the networks
+// consume: PPG plus three accelerometer axes, 8 s at 32 Hz.
+const (
+	InputChannels = 4
+	InputSamples  = 256
+)
+
+// blockSpec describes one TimePPG block: three convolutional layers, two
+// dilated (d=2 and d=4) and one with stride 2, following the paper §III-C.
+// StrideFirst selects whether the strided layer opens (efficient, used by
+// Small) or closes (accurate, used by Big) the block — the two NAS-derived
+// variants differ exactly in where they spend their operations.
+type blockSpec struct {
+	Width       int
+	StrideFirst bool
+}
+
+// build assembles the 3-block TimePPG body plus the dense regression head.
+func build(topology string, blocks [3]blockSpec, denseHidden int) *Network {
+	n := &Network{Topology: topology, InC: InputChannels, InT: InputSamples}
+	n.Layers = append(n.Layers, NewInputNorm("in_norm"))
+	c := InputChannels
+	for bi, spec := range blocks {
+		w := spec.Width
+		conv := func(li, dil, stride int, inC int) {
+			name := fmt.Sprintf("b%d.conv%d", bi+1, li)
+			n.Layers = append(n.Layers,
+				NewConv1D(name, inC, w, 3, dil, stride),
+				NewChannelAffine(name+".bn", w),
+				NewReLU(name+".relu"),
+			)
+		}
+		if spec.StrideFirst {
+			conv(1, 1, 2, c)
+			conv(2, 2, 1, w)
+			conv(3, 4, 1, w)
+		} else {
+			conv(1, 2, 1, c)
+			conv(2, 4, 1, w)
+			conv(3, 1, 2, w)
+		}
+		c = w
+	}
+	// Head: flatten the final 32-sample map and regress the normalized HR.
+	flatIn := c * (InputSamples / 8)
+	n.Layers = append(n.Layers,
+		NewFlatten("flatten"),
+		NewDense("head.fc1", flatIn, denseHidden),
+		NewReLU("head.relu"),
+		NewDense("head.fc2", denseHidden, 1),
+	)
+	return n
+}
+
+// NewTimePPGSmall builds the small network: ≈5 k parameters, ≈58 k MACs
+// (paper: 5.09 k parameters, 77.63 k operations).
+func NewTimePPGSmall() *Network {
+	return build(SmallName, [3]blockSpec{
+		{Width: 4, StrideFirst: true},
+		{Width: 6, StrideFirst: true},
+		{Width: 8, StrideFirst: true},
+	}, 16)
+}
+
+// NewTimePPGBig builds the big network: ≈232 k parameters, ≈5.2 M MACs
+// (paper: 232.6 k parameters, 12.27 M operations).
+func NewTimePPGBig() *Network {
+	return build(BigName, [3]blockSpec{
+		{Width: 32, StrideFirst: false},
+		{Width: 48, StrideFirst: false},
+		{Width: 64, StrideFirst: false},
+	}, 84)
+}
+
+// HR normalization: networks regress z = (HR - HRMean)/HRStd.
+const (
+	HRMean = 90
+	HRStd  = 40
+)
+
+// NormalizeHR maps BPM to the network target.
+func NormalizeHR(bpm float64) float32 { return float32((bpm - HRMean) / HRStd) }
+
+// DenormalizeHR maps a network output back to BPM.
+func DenormalizeHR(z float32) float64 { return float64(z)*HRStd + HRMean }

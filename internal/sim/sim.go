@@ -1,0 +1,184 @@
+// Package sim runs whole-system simulations of a CHRIS smartwatch: window
+// ticks, decision-engine dispatch, MCU/radio/phone energy accounting,
+// sensor front-end drain, BLE link dropouts with configuration
+// re-selection, and battery depletion — the pieces behind the paper's
+// battery-life motivation (§I) and connectivity discussion (§IV-B).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/hw"
+	"repro/internal/hw/ble"
+	"repro/internal/hw/power"
+	"repro/internal/models"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	System     *hw.System
+	Engine     *core.Engine
+	Constraint core.Constraint
+	// Trace drives the BLE link state; nil keeps the link up.
+	Trace *ble.ConnectivityTrace
+	// Windows are replayed cyclically as the sensor stream.
+	Windows []dalia.Window
+	// DurationSeconds is the simulated wall-clock horizon.
+	DurationSeconds float64
+	// Battery, when non-nil, is drained through the converter; the
+	// simulation stops early at exhaustion.
+	Battery *power.Battery
+	// IncludeSensors charges the PPG/IMU front end to the watch budget.
+	IncludeSensors bool
+}
+
+// Breakdown splits the watch-side energy by component.
+type Breakdown struct {
+	Compute power.Energy // MCU active
+	Radio   power.Energy // BLE streaming
+	Idle    power.Energy // MCU stop-mode
+	Sensors power.Energy // PPG + IMU front end
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() power.Energy { return b.Compute + b.Radio + b.Idle + b.Sensors }
+
+// Result aggregates a simulation run.
+type Result struct {
+	SimulatedSeconds float64
+	Predictions      int
+	SimpleRuns       int
+	Offloaded        int
+	SkippedWindows   int // MCU still busy with the previous prediction
+	LinkDownWindows  int
+	Reselections     int
+	MAE              float64
+	Watch            Breakdown
+	PhoneEnergy      power.Energy
+	BatteryDrain     power.Energy
+	BatteryExhausted bool
+	FinalSoC         float64
+	ActiveConfig     string
+}
+
+// Run executes the scenario.
+func Run(cfg Config) (Result, error) {
+	switch {
+	case cfg.System == nil || cfg.Engine == nil:
+		return Result{}, fmt.Errorf("sim: System and Engine are required")
+	case len(cfg.Windows) == 0:
+		return Result{}, fmt.Errorf("sim: no windows to replay")
+	case cfg.DurationSeconds <= 0:
+		return Result{}, fmt.Errorf("sim: non-positive duration")
+	}
+	sys := cfg.System
+	period := sys.PeriodSeconds
+
+	linkUp := func(t float64) bool {
+		if cfg.Trace != nil {
+			return cfg.Trace.UpAt(t)
+		}
+		return sys.Link.Connected()
+	}
+
+	var res Result
+	var absErrSum float64
+	busyUntil := 0.0
+	lastLink := linkUp(0)
+	current, err := cfg.Engine.SelectConfig(lastLink, cfg.Constraint)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
+	}
+	res.ActiveConfig = current.Name()
+
+	wi := 0
+	for t := 0.0; t < cfg.DurationSeconds; t += period {
+		res.SimulatedSeconds = t + period
+		up := linkUp(t)
+		if up != lastLink {
+			next, err := cfg.Engine.SelectConfig(up, cfg.Constraint)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: re-selection at t=%.1f: %w", t, err)
+			}
+			current = next
+			res.ActiveConfig = current.Name()
+			res.Reselections++
+			lastLink = up
+		}
+		if !up {
+			res.LinkDownWindows++
+		}
+
+		w := &cfg.Windows[wi%len(cfg.Windows)]
+		wi++
+
+		// Per-window watch-side energy, assembled component by component.
+		var windowWatch power.Energy
+
+		// Sensors sample regardless of what the MCU does.
+		if cfg.IncludeSensors {
+			se := sys.SensorWindowEnergy()
+			res.Watch.Sensors += se
+			windowWatch += se
+		}
+
+		if t < busyUntil {
+			// Previous local inference still running: this window is
+			// dropped; its compute energy was charged when it started.
+			res.SkippedWindows++
+		} else {
+			d := cfg.Engine.Predict(&current, w)
+			res.Predictions++
+			absErrSum += models.AbsError(d.HR, w.TrueHR)
+
+			var busy float64
+			if d.Offloaded {
+				res.Offloaded++
+				busy = sys.Link.TransmitSeconds(ble.WindowBytes)
+				radio := sys.Link.WindowTransmitEnergy()
+				res.Watch.Radio += radio
+				windowWatch += radio
+				res.PhoneEnergy += sys.PhoneEnergy(d.Model)
+			} else {
+				if d.Model.Name() == current.Simple.Name() {
+					res.SimpleRuns++
+				}
+				busy = sys.MCU.ComputeSeconds(d.Model)
+				compute := sys.MCU.ActiveEnergy(d.Model)
+				res.Watch.Compute += compute
+				windowWatch += compute
+			}
+			busyUntil = t + busy
+			idle := period - busy
+			if idle > 0 {
+				idleE := sys.MCU.IdlePower.Over(idle)
+				res.Watch.Idle += idleE
+				windowWatch += idleE
+			}
+		}
+
+		if cfg.Battery != nil {
+			drain := sys.BatteryDrainPerWindow(windowWatch)
+			res.BatteryDrain += drain
+			if err := cfg.Battery.Drain(drain); err != nil {
+				res.BatteryExhausted = true
+				res.FinalSoC = cfg.Battery.SoC()
+				res.finish(absErrSum)
+				return res, nil
+			}
+		}
+	}
+	if cfg.Battery != nil {
+		res.FinalSoC = cfg.Battery.SoC()
+	}
+	res.finish(absErrSum)
+	return res, nil
+}
+
+func (r *Result) finish(absErrSum float64) {
+	if r.Predictions > 0 {
+		r.MAE = absErrSum / float64(r.Predictions)
+	}
+}
