@@ -17,6 +17,35 @@
 //
 // See examples/quickstart for the three-call happy path: BuildPipeline →
 // Engine → Predict.
+//
+// # Performance
+//
+// The hot paths are allocation-free after warm-up and the profiling
+// pipeline is parallel:
+//
+//   - dsp.Plan caches twiddle-factor and bit-reversal tables per FFT size;
+//     Execute/RealFFTInto/PowerSpectrumInto write into caller-provided
+//     buffers and allocate nothing in steady state. The package-level
+//     FFT/RealFFT/PowerSpectrum functions are thin wrappers over shared
+//     cached plans.
+//   - The TCN layers keep their output and gradient tensors in
+//     layer-local slots (a scratch arena), so a float forward or backward
+//     pass performs zero heap allocations after the first call; the int8
+//     deployment path reuses its activation buffers the same way. A
+//     network or estimator instance is therefore single-goroutine;
+//     CloneForWorker/Clone produce worker copies sharing weights.
+//   - WindowRecord stores zoo predictions densely ([]float64 indexed
+//     through a shared RecordHeader), BuildRecords fans inference out
+//     across GOMAXPROCS workers (bitwise identical to the serial path),
+//     and ProfileConfigs profiles the 60 configurations in parallel.
+//
+// Benchmarks: `go test -bench . -benchmem` covers every kernel
+// (internal/dsp, internal/models/tcn, internal/eval) next to the paper
+// artifacts at the repository root. `chrisbench -json BENCH_<pr>.json`
+// writes the machine-readable trajectory file: per-kernel ns/op and
+// allocs/op for the optimized and seed-reference implementations, plus the
+// headline MAE/energy metrics, so successive perf PRs can be compared
+// (BENCH_1.json is the first datapoint).
 package chris
 
 import (
@@ -53,6 +82,8 @@ type (
 	Decision = core.Decision
 	// WindowRecord feeds the offline profiler.
 	WindowRecord = core.WindowRecord
+	// RecordHeader maps zoo model names to dense prediction indices.
+	RecordHeader = core.RecordHeader
 	// Execution selects Local or Hybrid execution.
 	Execution = core.Execution
 )
@@ -113,6 +144,8 @@ var (
 	SliceWindows = dalia.Windows
 	// BuildRecords runs the zoo and detector over windows once.
 	BuildRecords = eval.BuildRecords
+	// NewRecordHeader builds the shared name→index prediction header.
+	NewRecordHeader = core.NewRecordHeader
 	// NewConnectivityTrace schedules link up/down toggles.
 	NewConnectivityTrace = ble.NewConnectivityTrace
 	// MilliJoules and MicroJoules build Energy values.

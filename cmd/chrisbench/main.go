@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	chrisbench [-quick] [-scale 0.06] [-subjects 15] [-epochs 10] [-cache dir] [-only T1,F4] [-v]
+//	chrisbench [-quick] [-scale 0.06] [-subjects 15] [-epochs 10] [-cache dir] [-only T1,F4] [-json BENCH_1.json] [-v]
+//
+// With -json, the run additionally micro-benchmarks the hot-path kernels
+// (optimized and seed-reference forms), measures record-building scaling,
+// and writes a machine-readable BENCH_*.json perf-trajectory file.
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "TCN training epochs (0 = config default)")
 	cache := flag.String("cache", "", "cache directory (empty = config default)")
 	only := flag.String("only", "", "comma-separated artifact IDs to print (default all)")
+	jsonOut := flag.String("json", "", "write a machine-readable BENCH_*.json perf report to this path")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
 
@@ -70,5 +75,17 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stdout, "==== %s (%s) ====\n%s\n", a.Title, a.ID, a.Text)
+	}
+
+	if *jsonOut != "" {
+		log.Printf("running kernel benchmarks for %s", *jsonOut)
+		rep, err := bench.BuildBenchReport(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteBenchReport(*jsonOut, rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
 	}
 }

@@ -7,23 +7,56 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/dalia"
 )
 
 // Records are cached with encoding/gob so that repeated harness runs skip
 // the expensive inference pass over every window. The cache key (embedded
 // in the file name by the caller) covers dataset, split and model
-// configuration; a length check guards against stale files.
+// configuration; a length check guards against stale files. The on-disk
+// form stores the shared prediction header once plus flat columns, so the
+// file carries no per-record map or header duplication.
+
+// recordFile is the serialized form of a record slice.
+type recordFile struct {
+	Names      []string
+	TrueHR     []float64
+	Activity   []dalia.Activity
+	Difficulty []int
+	Preds      []float64 // len(Names) per record, record-major
+}
 
 func saveRecords(path string, recs []core.WindowRecord) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
+	}
+	var rf recordFile
+	if len(recs) > 0 {
+		if recs[0].Header == nil {
+			return fmt.Errorf("bench: records lack a prediction header")
+		}
+		rf.Names = recs[0].Header.Names()
+	}
+	m := len(rf.Names)
+	rf.TrueHR = make([]float64, len(recs))
+	rf.Activity = make([]dalia.Activity, len(recs))
+	rf.Difficulty = make([]int, len(recs))
+	rf.Preds = make([]float64, 0, len(recs)*m)
+	for i := range recs {
+		if len(recs[i].Preds) != m {
+			return fmt.Errorf("bench: record %d has %d predictions, want %d", i, len(recs[i].Preds), m)
+		}
+		rf.TrueHR[i] = recs[i].TrueHR
+		rf.Activity[i] = recs[i].Activity
+		rf.Difficulty[i] = recs[i].Difficulty
+		rf.Preds = append(rf.Preds, recs[i].Preds...)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return gob.NewEncoder(f).Encode(recs)
+	return gob.NewEncoder(f).Encode(rf)
 }
 
 func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
@@ -32,12 +65,28 @@ func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var recs []core.WindowRecord
-	if err := gob.NewDecoder(f).Decode(&recs); err != nil {
+	var rf recordFile
+	if err := gob.NewDecoder(f).Decode(&rf); err != nil {
 		return nil, err
 	}
-	if len(recs) != wantLen {
-		return nil, fmt.Errorf("bench: stale record cache %s (%d records, want %d)", path, len(recs), wantLen)
+	n := len(rf.TrueHR)
+	if n != wantLen {
+		return nil, fmt.Errorf("bench: stale record cache %s (%d records, want %d)", path, n, wantLen)
+	}
+	m := len(rf.Names)
+	if len(rf.Activity) != n || len(rf.Difficulty) != n || len(rf.Preds) != n*m {
+		return nil, fmt.Errorf("bench: corrupt record cache %s", path)
+	}
+	header := core.NewRecordHeader(rf.Names...)
+	recs := make([]core.WindowRecord, n)
+	for i := range recs {
+		recs[i] = core.WindowRecord{
+			TrueHR:     rf.TrueHR[i],
+			Activity:   rf.Activity[i],
+			Difficulty: rf.Difficulty[i],
+			Header:     header,
+			Preds:      rf.Preds[i*m : (i+1)*m : (i+1)*m],
+		}
 	}
 	return recs, nil
 }

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/models/tcn"
+)
+
+// KernelResult is one measured hot-path kernel, in the shape BENCH_*.json
+// stores: optimized implementations next to their seed-equivalent
+// references, so every perf PR leaves a comparable datapoint behind.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func runKernel(name string, fn func(b *testing.B)) KernelResult {
+	r := testing.Benchmark(fn)
+	return KernelResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// KernelBenchmarks measures the DSP and TCN kernels this repository
+// optimizes, each against the seed implementation it replaced.
+func KernelBenchmarks() []KernelResult {
+	sig := make([]float64, 256)
+	for i := range sig {
+		sig[i] = math.Sin(float64(i) / 3)
+	}
+	plan := dsp.NewPlan(256)
+	spec := make([]complex128, 129)
+	pow := make([]float64, 129)
+
+	rng := rand.New(rand.NewSource(77))
+	conv := tcn.NewConv1D("bench.conv", 48, 48, 3, 4, 1)
+	for i := range conv.Weight.W {
+		conv.Weight.W[i] = float32(rng.NormFloat64())
+	}
+	x := tcn.NewTensor(48, 128)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	small := tcn.NewTimePPGSmall()
+	small.InitWeights(1)
+	big := tcn.NewTimePPGBig()
+	big.InitWeights(2)
+	in := tcn.NewTensor(tcn.InputChannels, tcn.InputSamples)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64())
+	}
+
+	return []KernelResult{
+		runKernel("RealFFT256/plan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.RealFFTInto(spec, sig)
+			}
+		}),
+		runKernel("PowerSpectrum256/plan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.PowerSpectrumInto(pow, sig)
+			}
+		}),
+		runKernel("PowerSpectrum256/seed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seedPowerSpectrum(sig)
+			}
+		}),
+		runKernel("Conv1DForward48x128/opt", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x)
+			}
+		}),
+		runKernel("Conv1DForward48x128/seed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seedConvForward(conv, x)
+			}
+		}),
+		runKernel("TimePPGSmallForward", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				small.Forward(in)
+			}
+		}),
+		runKernel("TimePPGBigForward", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				big.Forward(in)
+			}
+		}),
+	}
+}
+
+// seedPowerSpectrum reproduces the pre-plan spectral path: a full complex
+// FFT with per-stage cmplx.Exp twiddle recurrence and two allocations per
+// call.
+func seedPowerSpectrum(x []float64) []float64 {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	n := len(buf)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		wStep := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := buf[start+k]
+				b := buf[start+k+half] * w
+				buf[start+k] = a + b
+				buf[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	out := make([]float64, n/2+1)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// seedConvForward reproduces the pre-optimization convolution: per-sample
+// padding bounds checks in the innermost loop and a fresh output tensor
+// per call.
+func seedConvForward(l *tcn.Conv1D, x *tcn.Tensor) *tcn.Tensor {
+	_, outT := l.OutShape(x.C, x.T)
+	y := tcn.NewTensor(l.OutC, outT)
+	total := (l.Kernel - 1) * l.Dilation
+	padL := total - total/2
+	K, D, S := l.Kernel, l.Dilation, l.Stride
+	for o := 0; o < l.OutC; o++ {
+		yRow := y.Row(o)
+		bias := l.Bias.W[o]
+		for t := range yRow {
+			yRow[t] = bias
+		}
+		for ci := 0; ci < l.InC; ci++ {
+			xRow := x.Row(ci)
+			wBase := (o*l.InC + ci) * K
+			for k := 0; k < K; k++ {
+				w := l.Weight.W[wBase+k]
+				if w == 0 {
+					continue
+				}
+				off := k*D - padL
+				for t := 0; t < outT; t++ {
+					src := t*S + off
+					if src >= 0 && src < x.T {
+						yRow[t] += w * xRow[src]
+					}
+				}
+			}
+		}
+	}
+	return y
+}

@@ -219,9 +219,13 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	// Per-model test reports from the precomputed records.
 	s.Reports = map[string]eval.ModelReport{}
 	for _, m := range zoo.Models() {
+		mi, ok := s.TestRecords[0].Header.Index(m.Name())
+		if !ok {
+			return nil, fmt.Errorf("bench: test records lack predictions for %q", m.Name())
+		}
 		preds := make([]float64, len(testW))
 		for i := range s.TestRecords {
-			preds[i] = s.TestRecords[i].Pred[m.Name()]
+			preds[i] = s.TestRecords[i].Preds[mi]
 		}
 		rep, err := eval.EvaluatePredictions(m.Name(), preds, testW)
 		if err != nil {

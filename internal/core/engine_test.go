@@ -33,10 +33,8 @@ func testEngine(t *testing.T) (*Engine, []Profile) {
 	t.Helper()
 	sys := hw.NewSystem()
 	z := threeModelZoo(t)
-	recs := buildRecords(80, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
-	for i := range recs {
-		recs[i].Pred["mid"] = recs[i].TrueHR + 5
-	}
+	recs := buildRecords(80,
+		z.Models()[0].(*fakeEst), z.Models()[1].(*fakeEst), z.Models()[2].(*fakeEst))
 	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
 	if err != nil {
 		t.Fatal(err)

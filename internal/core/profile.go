@@ -2,23 +2,75 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/dalia"
 	"repro/internal/hw"
 	"repro/internal/hw/power"
 )
 
+// RecordHeader maps zoo model names to positions in the dense per-record
+// prediction vector. One header is shared by every record of a profiling
+// run, so the per-record payload is a plain []float64 — the map-per-window
+// layout it replaces allocated per record and forced a hash lookup into
+// the innermost profiling loop.
+type RecordHeader struct {
+	names []string
+	index map[string]int
+}
+
+// NewRecordHeader builds a header for the given model names in zoo order.
+func NewRecordHeader(names ...string) *RecordHeader {
+	h := &RecordHeader{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range h.names {
+		h.index[n] = i
+	}
+	return h
+}
+
+// Index returns the dense position of a model's predictions.
+func (h *RecordHeader) Index(name string) (int, bool) {
+	i, ok := h.index[name]
+	return i, ok
+}
+
+// Names returns the model names in dense order; callers must not mutate
+// the returned slice.
+func (h *RecordHeader) Names() []string { return h.names }
+
+// Len returns the number of models the header covers.
+func (h *RecordHeader) Len() int { return len(h.names) }
+
 // WindowRecord is the per-window information the offline profiler needs:
 // ground truth, the difficulty detector's (possibly wrong) output, and
 // every zoo model's prediction. Materializing records once makes profiling
 // all 60 configurations an O(windows) aggregation per configuration
-// instead of re-running inference 60 times.
+// instead of re-running inference 60 times. Predictions are stored densely
+// (Preds[i] belongs to Header.Names()[i]); Header is shared across the
+// records of one run.
 type WindowRecord struct {
 	TrueHR     float64
 	Activity   dalia.Activity
 	Difficulty int // RF-predicted difficulty ID (1..9)
-	Pred       map[string]float64
+	Header     *RecordHeader
+	Preds      []float64
+}
+
+// Pred returns the named model's prediction for this window.
+func (r *WindowRecord) Pred(model string) (float64, bool) {
+	if r.Header == nil {
+		return 0, false
+	}
+	i, ok := r.Header.Index(model)
+	if !ok || i >= len(r.Preds) {
+		return 0, false
+	}
+	return r.Preds[i], true
 }
 
 // Profile is a configuration together with its measured characteristics —
@@ -48,66 +100,72 @@ func ProfileConfig(cfg Config, records []WindowRecord, sys *hw.System) (Profile,
 	if len(records) == 0 {
 		return Profile{}, fmt.Errorf("core: no profiling records")
 	}
-	type actAgg struct {
-		absErr float64
-		n      int
+	header := records[0].Header
+	if header == nil {
+		return Profile{}, fmt.Errorf("core: records lack a prediction header")
 	}
-	perAct := map[dalia.Activity]*actAgg{}
+	// Resolve both models to dense indices once; the hot loop then runs
+	// map-free.
+	si, okS := header.Index(cfg.Simple.Name())
+	ci, okC := header.Index(cfg.Complex.Name())
+	if !okS || !okC {
+		return Profile{}, fmt.Errorf("core: record missing prediction for config %s", cfg.Name())
+	}
+
+	// Per-activity aggregation in a flat array (activities are small ints).
+	var absErr [dalia.NumActivities]float64
+	var count [dalia.NumActivities]int
 	var watch, watchIdle, phoneE float64
 	var offload, simple int
 
-	bleActive := sys.WatchOffloadActiveEnergy()
-	bleIdle := sys.WatchOffloadEnergy()
-	simpleActive := sys.WatchLocalActiveEnergy(cfg.Simple)
-	simpleIdle := sys.WatchLocalEnergy(cfg.Simple)
-	complexActive := sys.WatchLocalActiveEnergy(cfg.Complex)
-	complexIdle := sys.WatchLocalEnergy(cfg.Complex)
-	phonePer := sys.PhoneEnergy(cfg.Complex)
+	bleActive := float64(sys.WatchOffloadActiveEnergy())
+	bleIdle := float64(sys.WatchOffloadEnergy())
+	simpleActive := float64(sys.WatchLocalActiveEnergy(cfg.Simple))
+	simpleIdle := float64(sys.WatchLocalEnergy(cfg.Simple))
+	complexActive := float64(sys.WatchLocalActiveEnergy(cfg.Complex))
+	complexIdle := float64(sys.WatchLocalEnergy(cfg.Complex))
+	phonePer := float64(sys.PhoneEnergy(cfg.Complex))
+	hybrid := cfg.Exec == Hybrid
+	threshold := cfg.Threshold
 
 	for i := range records {
 		r := &records[i]
+		if len(r.Preds) != header.Len() {
+			return Profile{}, fmt.Errorf("core: record %d has %d predictions, header %d", i, len(r.Preds), header.Len())
+		}
 		var pred float64
-		var ok bool
-		if cfg.UsesSimple(r.Difficulty) {
-			pred, ok = r.Pred[cfg.Simple.Name()]
+		if r.Difficulty <= threshold {
+			pred = r.Preds[si]
 			simple++
-			watch += float64(simpleActive)
-			watchIdle += float64(simpleIdle)
+			watch += simpleActive
+			watchIdle += simpleIdle
 		} else {
-			pred, ok = r.Pred[cfg.Complex.Name()]
-			if cfg.Exec == Hybrid {
+			pred = r.Preds[ci]
+			if hybrid {
 				offload++
-				watch += float64(bleActive)
-				watchIdle += float64(bleIdle)
-				phoneE += float64(phonePer)
+				watch += bleActive
+				watchIdle += bleIdle
+				phoneE += phonePer
 			} else {
-				watch += float64(complexActive)
-				watchIdle += float64(complexIdle)
+				watch += complexActive
+				watchIdle += complexIdle
 			}
-		}
-		if !ok {
-			return Profile{}, fmt.Errorf("core: record missing prediction for config %s", cfg.Name())
-		}
-		a := perAct[r.Activity]
-		if a == nil {
-			a = &actAgg{}
-			perAct[r.Activity] = a
 		}
 		d := pred - r.TrueHR
 		if d < 0 {
 			d = -d
 		}
-		a.absErr += d
-		a.n++
+		absErr[r.Activity] += d
+		count[r.Activity]++
 	}
 
-	// Activity-balanced MAE: mean of per-activity MAEs. Iterate in fixed
-	// activity order so float summation is deterministic across runs.
+	// Activity-balanced MAE: mean of per-activity MAEs. The flat array is
+	// iterated in activity order, so float summation stays deterministic.
 	var maeSum float64
 	var acts int
-	for _, act := range dalia.Activities() {
-		if a := perAct[act]; a != nil && a.n > 0 {
-			maeSum += a.absErr / float64(a.n)
+	for a := 0; a < dalia.NumActivities; a++ {
+		if count[a] > 0 {
+			maeSum += absErr[a] / float64(count[a])
 			acts++
 		}
 	}
@@ -126,14 +184,44 @@ func ProfileConfig(cfg Config, records []WindowRecord, sys *hw.System) (Profile,
 // ProfileConfigs measures every configuration and returns the profiles
 // sorted by ascending watch energy (ties by MAE) — the storage order that
 // lets the decision engine answer constraints in one linear pass (§III-A).
+// The configurations are independent aggregations over shared read-only
+// records, so they are profiled in parallel across GOMAXPROCS workers; the
+// deterministic stable sort makes the output identical to the serial
+// order.
 func ProfileConfigs(cfgs []Config, records []WindowRecord, sys *hw.System) ([]Profile, error) {
-	out := make([]Profile, 0, len(cfgs))
-	for _, c := range cfgs {
-		p, err := ProfileConfig(c, records, sys)
+	out := make([]Profile, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= len(cfgs) {
+					return
+				}
+				out[i], errs[i] = ProfileConfig(cfgs[i], records, sys)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].WatchEnergy != out[j].WatchEnergy {

@@ -11,7 +11,12 @@ import (
 // buildRecords fabricates profiling records: half easy (sitting,
 // difficulty 1), half hard (table soccer, difficulty 9), with each model's
 // prediction off by its bias.
-func buildRecords(n int, simple, complex *fakeEst) []WindowRecord {
+func buildRecords(n int, ests ...*fakeEst) []WindowRecord {
+	names := make([]string, len(ests))
+	for i, e := range ests {
+		names[i] = e.name
+	}
+	header := NewRecordHeader(names...)
 	recs := make([]WindowRecord, n)
 	for i := range recs {
 		act, diff := dalia.Sitting, 1
@@ -19,14 +24,16 @@ func buildRecords(n int, simple, complex *fakeEst) []WindowRecord {
 			act, diff = dalia.TableSoccer, 9
 		}
 		truth := 80.0
+		preds := make([]float64, len(ests))
+		for j, e := range ests {
+			preds[j] = truth + e.bias
+		}
 		recs[i] = WindowRecord{
 			TrueHR:     truth,
 			Activity:   act,
 			Difficulty: diff,
-			Pred: map[string]float64{
-				simple.name:  truth + simple.bias,
-				complex.name: truth + complex.bias,
-			},
+			Header:     header,
+			Preds:      preds,
 		}
 	}
 	return recs
@@ -113,10 +120,8 @@ func TestProfileConfigErrors(t *testing.T) {
 	if _, err := ProfileConfig(Config{Simple: simple, Complex: complex}, nil, sys); err == nil {
 		t.Error("empty records accepted")
 	}
-	recs := buildRecords(4, simple, complex)
-	for i := range recs {
-		delete(recs[i].Pred, "best")
-	}
+	// Records whose header lacks the complex model's predictions.
+	recs := buildRecords(4, simple)
 	cfg := Config{Simple: simple, Complex: complex, Threshold: 0, Exec: Local}
 	if _, err := ProfileConfig(cfg, recs, sys); err == nil {
 		t.Error("missing predictions accepted")
@@ -126,11 +131,8 @@ func TestProfileConfigErrors(t *testing.T) {
 func TestProfileConfigsSortedByEnergy(t *testing.T) {
 	sys := hw.NewSystem()
 	z := threeModelZoo(t)
-	recs := buildRecords(60, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
-	// Add mid-model predictions so every config can be profiled.
-	for i := range recs {
-		recs[i].Pred["mid"] = recs[i].TrueHR + 5
-	}
+	recs := buildRecords(60,
+		z.Models()[0].(*fakeEst), z.Models()[1].(*fakeEst), z.Models()[2].(*fakeEst))
 	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
 	if err != nil {
 		t.Fatal(err)
@@ -148,10 +150,8 @@ func TestProfileConfigsSortedByEnergy(t *testing.T) {
 func TestParetoInvariants(t *testing.T) {
 	sys := hw.NewSystem()
 	z := threeModelZoo(t)
-	recs := buildRecords(60, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
-	for i := range recs {
-		recs[i].Pred["mid"] = recs[i].TrueHR + 5
-	}
+	recs := buildRecords(60,
+		z.Models()[0].(*fakeEst), z.Models()[1].(*fakeEst), z.Models()[2].(*fakeEst))
 	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
 	if err != nil {
 		t.Fatal(err)

@@ -11,10 +11,8 @@ import (
 func TestProfileStoreRoundTrip(t *testing.T) {
 	sys := hw.NewSystem()
 	z := threeModelZoo(t)
-	recs := buildRecords(40, z.Models()[0].(*fakeEst), z.Models()[2].(*fakeEst))
-	for i := range recs {
-		recs[i].Pred["mid"] = recs[i].TrueHR + 5
-	}
+	recs := buildRecords(40,
+		z.Models()[0].(*fakeEst), z.Models()[1].(*fakeEst), z.Models()[2].(*fakeEst))
 	profiles, err := ProfileConfigs(z.EnumerateConfigs(), recs, sys)
 	if err != nil {
 		t.Fatal(err)

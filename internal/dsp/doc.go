@@ -2,7 +2,13 @@
 // CHRIS reproduction: descriptive statistics, an FFT, window functions,
 // IIR/FIR filtering, peak detection, spectral estimation and resampling.
 //
-// All routines operate on float64 slices sampled at a uniform rate. They are
-// allocation-conscious but favour clarity over micro-optimization: the hot
-// inference paths of the repository live in internal/models, not here.
+// All routines operate on float64 slices sampled at a uniform rate.
+//
+// The FFT is plan-based: NewPlan precomputes the twiddle-factor and
+// bit-reversal tables for one transform size, and the plan's Execute,
+// Inverse, RealFFTInto and PowerSpectrumInto methods then run without any
+// heap allocation (real-input transforms go through one half-size complex
+// FFT). The package-level FFT/IFFT/RealFFT/PowerSpectrum functions remain
+// as thin wrappers over shared cached plans, so casual callers keep the
+// simple API while hot loops hold a Plan and reuse output buffers.
 package dsp

@@ -1,82 +1,40 @@
 package dsp
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-	"math/cmplx"
-)
+import "math/bits"
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
 // transform of x. The length of x must be a power of two; FFT panics
 // otherwise (the callers in this repository always use 256-sample windows).
+// It is a thin wrapper over a shared, cached Plan; hot paths that transform
+// many windows of one size should hold their own Plan and use its *Into
+// methods.
 func FFT(x []complex128) {
-	fftDir(x, false)
+	if len(x) == 0 {
+		return
+	}
+	planFor(len(x)).Execute(x)
 }
 
 // IFFT computes the inverse FFT of x in place, including the 1/N scaling.
 func IFFT(x []complex128) {
-	fftDir(x, true)
-}
-
-func fftDir(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
-	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
-		}
-	}
+	planFor(len(x)).Inverse(x)
 }
 
 // RealFFT returns the complex spectrum of a real signal. The output has
 // len(x)/2+1 bins (DC through Nyquist). len(x) must be a power of two.
 func RealFFT(x []float64) []complex128 {
-	buf := make([]complex128, len(x))
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	FFT(buf)
-	return buf[:len(x)/2+1]
+	out := make([]complex128, len(x)/2+1)
+	return planFor(len(x)).RealFFTInto(out, x)
 }
 
 // PowerSpectrum returns the one-sided power spectrum |X[k]|^2 of a real
 // signal (len(x)/2+1 bins). len(x) must be a power of two.
 func PowerSpectrum(x []float64) []float64 {
-	spec := RealFFT(x)
+	spec := make([]complex128, len(x)/2+1)
+	planFor(len(x)).RealFFTInto(spec, x)
 	out := make([]float64, len(spec))
 	for i, c := range spec {
 		re, im := real(c), imag(c)

@@ -101,21 +101,65 @@ func HeartBandPass(fs float64) Cascade {
 	return Cascade{NewBandPass(fc, fs, 0.55), NewBandPass(fc, fs, 0.55)}
 }
 
+// firFFTMinTaps is the tap count above which FIRFilter switches from the
+// direct form to FFT convolution. Direct convolution is O(len(x)·K); the
+// crossover sits far above the short kernels the PPG pipeline uses, so the
+// default path stays bitwise identical to the naive definition.
+const firFFTMinTaps = 64
+
 // FIRFilter convolves x with the given taps (causal, zero-padded history),
-// producing an output of the same length.
+// producing an output of the same length. Short kernels run the direct
+// form with one contiguous inner loop per tap; kernels of firFFTMinTaps or
+// more taps run plan-based FFT convolution (identical result up to
+// floating-point rounding).
 func FIRFilter(x, taps []float64) []float64 {
 	out := make([]float64, len(x))
-	for i := range x {
-		var acc float64
-		for j, t := range taps {
-			if i-j < 0 {
-				break
-			}
-			acc += t * x[i-j]
+	if len(x) == 0 || len(taps) == 0 {
+		return out
+	}
+	if len(taps) >= firFFTMinTaps && len(x) >= firFFTMinTaps {
+		fftConvolve(out, x, taps)
+		return out
+	}
+	// Direct form, accumulated tap by tap: each tap touches a contiguous
+	// run of both slices (no per-sample history check), and per output
+	// element the taps still add in ascending-j order, so the result is
+	// bitwise identical to the textbook nested loop.
+	for j, t := range taps {
+		if j >= len(x) {
+			break
 		}
-		out[i] = acc
+		xs := x[:len(x)-j]
+		os := out[j:]
+		for i, v := range xs {
+			os[i] += t * v
+		}
 	}
 	return out
+}
+
+// fftConvolve writes the causal convolution of x and taps (truncated to
+// len(x)) into out using one zero-padded transform pair on a cached Plan.
+func fftConvolve(out, x, taps []float64) {
+	n := NextPow2(len(x) + len(taps) - 1)
+	p := planFor(n)
+	xf := make([]complex128, n)
+	tf := make([]complex128, n)
+	for i, v := range x {
+		xf[i] = complex(v, 0)
+	}
+	for i, v := range taps {
+		tf[i] = complex(v, 0)
+	}
+	p.Execute(xf)
+	p.Execute(tf)
+	for i := range xf {
+		xf[i] *= tf[i]
+	}
+	p.Inverse(xf)
+	for i := range out {
+		out[i] = real(xf[i])
+	}
 }
 
 // MovingAverageTaps returns n uniform taps summing to 1.

@@ -1,0 +1,284 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) textbook reference the optimized plans are
+// validated against.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			acc += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func TestPlanExecuteMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		p := NewPlan(n)
+		p.Execute(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d bin %d: plan %v, DFT %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlanRealFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 512} {
+		x := make([]float64, n)
+		full := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			full[i] = complex(x[i], 0)
+		}
+		want := naiveDFT(full)
+		p := NewPlan(n)
+		got := p.RealFFTInto(make([]complex128, n/2+1), x)
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: got %d bins, want %d", n, len(got), n/2+1)
+		}
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*(1+cmplx.Abs(want[k])) {
+				t.Fatalf("n=%d bin %d: real plan %v, DFT %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestPlanInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := NewPlan(256)
+	x := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	p.Execute(x)
+	p.Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPlanPowerSpectrumMatchesFreeFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	p := NewPlan(256)
+	got := p.PowerSpectrumInto(make([]float64, 129), x)
+	want := PowerSpectrum(x)
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+want[i]) {
+			t.Fatalf("bin %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPlanSizeMismatchPanics(t *testing.T) {
+	p := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched length did not panic")
+		}
+	}()
+	p.Execute(make([]complex128, 4))
+}
+
+func TestPlanZeroAllocSteadyState(t *testing.T) {
+	p := NewPlan(256)
+	x := make([]complex128, 256)
+	r := make([]float64, 256)
+	spec := make([]complex128, 129)
+	pow := make([]float64, 129)
+	p.PowerSpectrumInto(pow, r) // warm the scratch buffer
+	if n := testing.AllocsPerRun(100, func() { p.Execute(x) }); n != 0 {
+		t.Errorf("Execute allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { p.RealFFTInto(spec, r) }); n != 0 {
+		t.Errorf("RealFFTInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { p.PowerSpectrumInto(pow, r) }); n != 0 {
+		t.Errorf("PowerSpectrumInto allocates %v per run", n)
+	}
+}
+
+func TestFIRFilterFFTPathMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	taps := make([]float64, firFFTMinTaps+9) // odd length, above the FFT cutoff
+	for i := range taps {
+		taps[i] = rng.NormFloat64() / float64(len(taps))
+	}
+	got := FIRFilter(x, taps)
+	// Textbook direct form as reference.
+	want := make([]float64, len(x))
+	for i := range x {
+		var acc float64
+		for j, tp := range taps {
+			if i-j < 0 {
+				break
+			}
+			acc += tp * x[i-j]
+		}
+		want[i] = acc
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("sample %d: fft %v, direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRFilterDirectMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, tapN := range []int{1, 3, 4, 24} {
+		x := make([]float64, 100)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		taps := make([]float64, tapN)
+		for i := range taps {
+			taps[i] = rng.NormFloat64()
+		}
+		got := FIRFilter(x, taps)
+		for i := range x {
+			var acc float64
+			for j, tp := range taps {
+				if i-j < 0 {
+					break
+				}
+				acc += tp * x[i-j]
+			}
+			if got[i] != acc {
+				t.Fatalf("taps=%d sample %d: %v != naive %v (must be bitwise equal)", tapN, i, got[i], acc)
+			}
+		}
+	}
+}
+
+// seedFFT is the pre-plan implementation kept as the benchmark baseline:
+// it recomputes twiddles with cmplx.Exp on every call and allocates per
+// transform, which is what the Plan API was introduced to eliminate.
+func seedFFT(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+func seedPowerSpectrum(x []float64) []float64 {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	seedFFT(buf)
+	out := make([]float64, len(x)/2+1)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+func benchSignal(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 3)
+	}
+	return x
+}
+
+func BenchmarkRealFFT256Plan(b *testing.B) {
+	p := NewPlan(256)
+	x := benchSignal(256)
+	dst := make([]complex128, 129)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealFFTInto(dst, x)
+	}
+}
+
+func BenchmarkPowerSpectrum256Plan(b *testing.B) {
+	p := NewPlan(256)
+	x := benchSignal(256)
+	dst := make([]float64, 129)
+	p.PowerSpectrumInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PowerSpectrumInto(dst, x)
+	}
+}
+
+func BenchmarkPowerSpectrum256Seed(b *testing.B) {
+	x := benchSignal(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedPowerSpectrum(x)
+	}
+}
+
+func BenchmarkFFT256Plan(b *testing.B) {
+	p := NewPlan(256)
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)/3), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Execute(x)
+	}
+}

@@ -8,7 +8,7 @@ import "math"
 func Periodogram(x []float64, fs float64) (power []float64, binHz float64) {
 	n := NextPow2(len(x))
 	buf := make([]float64, n)
-	w := Hann(len(x))
+	w := hannFor(len(x))
 	for i, v := range x {
 		buf[i] = v * w[i]
 	}

@@ -285,9 +285,14 @@ func Magnitude(x, y, z []float64) []float64 {
 	if len(z) < n {
 		n = len(z)
 	}
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = math.Sqrt(x[i]*x[i] + y[i]*y[i] + z[i]*z[i])
+	return MagnitudeInto(make([]float64, n), x, y, z)
+}
+
+// MagnitudeInto is the allocation-free form of Magnitude: it fills dst
+// (whose length bounds the output) and returns it.
+func MagnitudeInto(dst, x, y, z []float64) []float64 {
+	for i := range dst {
+		dst[i] = math.Sqrt(x[i]*x[i] + y[i]*y[i] + z[i]*z[i])
 	}
-	return out
+	return dst
 }

@@ -6,6 +6,8 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dalia"
@@ -17,6 +19,14 @@ import (
 // windows once, producing the records the configuration profiler
 // aggregates. Running inference once per model — instead of once per
 // configuration — is what makes profiling all 60 configurations cheap.
+//
+// The work fans out across GOMAXPROCS workers: models implementing
+// models.WorkerCloner (and the read-only difficulty detector) split the
+// windows into contiguous chunks, each chunk served by a private worker
+// clone; models without clone support — typically trackers whose output
+// depends on window order — run serially over the full sequence in their
+// own goroutine. Every (window, model) value is computed exactly as in the
+// serial path, so the records are bitwise independent of the worker count.
 func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifier) ([]core.WindowRecord, error) {
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("eval: no windows")
@@ -27,21 +37,71 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 	if cls == nil {
 		return nil, fmt.Errorf("eval: nil classifier")
 	}
+	names := make([]string, len(zoo))
+	for i, m := range zoo {
+		names[i] = m.Name()
+	}
+	header := core.NewRecordHeader(names...)
+	// One flat backing array keeps the dense prediction rows contiguous.
+	flat := make([]float64, len(ws)*len(zoo))
 	recs := make([]core.WindowRecord, len(ws))
 	for i := range ws {
 		recs[i] = core.WindowRecord{
-			TrueHR:     ws[i].TrueHR,
-			Activity:   ws[i].Activity,
-			Difficulty: cls.DifficultyID(&ws[i]),
-			Pred:       make(map[string]float64, len(zoo)),
+			TrueHR:   ws[i].TrueHR,
+			Activity: ws[i].Activity,
+			Header:   header,
+			Preds:    flat[i*len(zoo) : (i+1)*len(zoo) : (i+1)*len(zoo)],
 		}
 	}
-	for _, m := range zoo {
-		name := m.Name()
-		for i := range ws {
-			recs[i].Pred[name] = m.EstimateHR(&ws[i])
-		}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ws) {
+		workers = len(ws)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(ws) / workers
+		hi := (w + 1) * len(ws) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for mi, m := range zoo {
+				cloner, ok := m.(models.WorkerCloner)
+				if !ok {
+					continue // handled serially below
+				}
+				est := cloner.CloneEstimator()
+				for i := lo; i < hi; i++ {
+					recs[i].Preds[mi] = est.EstimateHR(&ws[i])
+				}
+			}
+			// The forest is read-only under Classify; chunk it too.
+			for i := lo; i < hi; i++ {
+				recs[i].Difficulty = cls.DifficultyID(&ws[i])
+			}
+		}(lo, hi)
+	}
+	// Stateful models keep their sequential window order; each writes its
+	// own dense column, so they still overlap with everything else.
+	for mi, m := range zoo {
+		if _, ok := m.(models.WorkerCloner); ok {
+			continue
+		}
+		wg.Add(1)
+		go func(mi int, m models.HREstimator) {
+			defer wg.Done()
+			for i := range ws {
+				recs[i].Preds[mi] = m.EstimateHR(&ws[i])
+			}
+		}(mi, m)
+	}
+	wg.Wait()
 	return recs, nil
 }
 
@@ -115,19 +175,23 @@ func RecordsMAE(recs []core.WindowRecord, model string) (float64, error) {
 	if len(recs) == 0 {
 		return 0, fmt.Errorf("eval: no records")
 	}
-	sum := map[dalia.Activity]float64{}
-	n := map[dalia.Activity]int{}
+	header := recs[0].Header
+	if header == nil {
+		return 0, fmt.Errorf("eval: records lack a prediction header")
+	}
+	mi, ok := header.Index(model)
+	if !ok {
+		return 0, fmt.Errorf("eval: records lack predictions for %q", model)
+	}
+	var sum [dalia.NumActivities]float64
+	var n [dalia.NumActivities]int
 	for i := range recs {
-		p, ok := recs[i].Pred[model]
-		if !ok {
-			return 0, fmt.Errorf("eval: records lack predictions for %q", model)
-		}
-		sum[recs[i].Activity] += models.AbsError(p, recs[i].TrueHR)
+		sum[recs[i].Activity] += models.AbsError(recs[i].Preds[mi], recs[i].TrueHR)
 		n[recs[i].Activity]++
 	}
 	var balanced float64
 	var acts int
-	for _, a := range dalia.Activities() { // fixed order: deterministic sum
+	for a := 0; a < dalia.NumActivities; a++ { // fixed order: deterministic sum
 		if n[a] == 0 {
 			continue
 		}

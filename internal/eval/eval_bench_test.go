@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dalia"
+	"repro/internal/models"
+	"repro/internal/models/at"
+	"repro/internal/models/rf"
+	"repro/internal/models/tcn"
+)
+
+// recordFixture assembles windows, a realistic zoo (AT + both TimePPG
+// networks with nonzero weights) and a trained detector for the
+// BuildRecords benchmarks.
+func recordFixture(tb testing.TB) ([]dalia.Window, []models.HREstimator, *rf.Classifier) {
+	tb.Helper()
+	c := dalia.DefaultConfig()
+	c.Subjects = 2
+	c.DurationScale = 0.05
+	var ws []dalia.Window
+	for s := 0; s < c.Subjects; s++ {
+		rec, err := dalia.GenerateSubject(c, s)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ws = append(ws, dalia.Windows(rec, c.WindowSamples, c.StrideSamples)...)
+	}
+	cls, err := rf.Train(ws, rf.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	small := tcn.NewTimePPGSmall()
+	small.InitWeights(1)
+	big := tcn.NewTimePPGBig()
+	big.InitWeights(2)
+	zoo := []models.HREstimator{at.New(), tcn.NewEstimator(small), tcn.NewEstimator(big)}
+	return ws, zoo, cls
+}
+
+// TestBuildRecordsDeterministicAcrossWorkers pins the parallel fan-out to
+// the serial semantics: records built under GOMAXPROCS=1 and the full core
+// count must be bitwise identical.
+func TestBuildRecordsDeterministicAcrossWorkers(t *testing.T) {
+	ws, zoo, cls := recordFixture(t)
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := BuildRecords(ws, zoo, cls)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildRecords(ws, zoo, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Difficulty != parallel[i].Difficulty {
+			t.Fatalf("record %d difficulty %d vs %d", i, serial[i].Difficulty, parallel[i].Difficulty)
+		}
+		for j := range serial[i].Preds {
+			if serial[i].Preds[j] != parallel[i].Preds[j] {
+				t.Fatalf("record %d model %d: %v vs %v (must be bitwise equal)",
+					i, j, serial[i].Preds[j], parallel[i].Preds[j])
+			}
+		}
+	}
+}
+
+func benchBuildRecords(b *testing.B, procs int) {
+	ws, zoo, cls := recordFixture(b)
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRecords(ws, zoo, cls); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ws)), "windows")
+}
+
+func BenchmarkBuildRecordsSerial(b *testing.B) { benchBuildRecords(b, 1) }
+
+func BenchmarkBuildRecordsParallel(b *testing.B) { benchBuildRecords(b, runtime.NumCPU()) }

@@ -56,8 +56,9 @@ func TestBuildRecords(t *testing.T) {
 		if r.Difficulty < 1 || r.Difficulty > dalia.NumActivities {
 			t.Fatalf("record %d difficulty %d out of range", i, r.Difficulty)
 		}
-		if math.Abs(r.Pred["a"]-(r.TrueHR+3)) > 1e-9 {
-			t.Fatalf("record %d prediction wrong", i)
+		p, ok := r.Pred("a")
+		if !ok || math.Abs(p-(r.TrueHR+3)) > 1e-9 {
+			t.Fatalf("record %d prediction wrong (%v, %v)", i, p, ok)
 		}
 		if r.Activity != ws[i].Activity {
 			t.Fatalf("record %d activity mismatch", i)

@@ -55,6 +55,13 @@ func (e *Estimator) EstimateHR(w *dalia.Window) float64 {
 	return models.ClampHR(e.estimate(w.PPG, w.Rate))
 }
 
+// CloneEstimator implements models.WorkerCloner. AT is pure configuration
+// (no per-window state), so the clone is a plain copy.
+func (e *Estimator) CloneEstimator() models.HREstimator {
+	c := *e
+	return &c
+}
+
 func (e *Estimator) estimate(ppg []float64, fs float64) float64 {
 	if len(ppg) < e.MeanWindow*2 || fs <= 0 {
 		return e.FallbackHR
@@ -87,4 +94,7 @@ func (e *Estimator) estimate(ppg []float64, fs float64) float64 {
 	return 60 * fs / dsp.Median(ibis)
 }
 
-var _ models.HREstimator = (*Estimator)(nil)
+var (
+	_ models.HREstimator  = (*Estimator)(nil)
+	_ models.WorkerCloner = (*Estimator)(nil)
+)

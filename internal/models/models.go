@@ -19,6 +19,18 @@ type HREstimator interface {
 	Params() int64
 }
 
+// WorkerCloner is implemented by estimators that can produce an
+// independent copy sharing immutable weights but owning all mutable
+// scratch, so evaluation can fan windows out across goroutines. Estimators
+// whose predictions depend on sequential window order (e.g. trackers with
+// a previous-HR prior) must NOT implement it; the record builder runs them
+// serially instead.
+type WorkerCloner interface {
+	HREstimator
+	// CloneEstimator returns the worker copy.
+	CloneEstimator() HREstimator
+}
+
 // ClampHR bounds an estimate to the physiologically plausible range the
 // dataset generator also enforces.
 func ClampHR(bpm float64) float64 {

@@ -19,6 +19,12 @@ const ModelName = "SpectralTrack"
 // Estimator estimates HR as the strongest cardiac-band PPG component that
 // does not coincide with a dominant accelerometer component, with a
 // tracking prior pulling ambiguous windows toward the previous estimate.
+//
+// The estimator carries both tracking state and reusable DSP scratch
+// (an FFT plan, window and spectrum buffers), so steady-state calls do not
+// allocate; it is single-goroutine by construction, and its sequential
+// tracking prior is also why eval runs it serially rather than splitting
+// windows across workers.
 type Estimator struct {
 	// Band limits in Hz (cardiac band 0.5–4 Hz ≈ 30–240 BPM).
 	LoHz, HiHz float64
@@ -34,6 +40,17 @@ type Estimator struct {
 	TrackWeight float64
 	// state
 	lastHR float64
+
+	// scratch, lazily sized to the window length
+	winLen   int
+	plan     *dsp.Plan
+	win      []float64 // Hann window of winLen
+	sig      []float64 // detrended PPG copy
+	mag      []float64 // detrended accel magnitude
+	buf      []float64 // zero-padded windowed frame
+	power    []float64 // PPG power spectrum
+	accPower []float64 // accel power spectrum
+	masked   []bool
 }
 
 // New returns the estimator with its default parameters.
@@ -53,20 +70,54 @@ func (e *Estimator) Params() int64 { return 0 }
 // Reset clears the tracking state.
 func (e *Estimator) Reset() { e.lastHR = 0 }
 
+// ensureScratch (re)builds the per-window-length buffers.
+func (e *Estimator) ensureScratch(n int) {
+	if e.winLen == n {
+		return
+	}
+	padded := dsp.NextPow2(n)
+	bins := padded/2 + 1
+	e.winLen = n
+	e.plan = dsp.NewPlan(padded)
+	e.win = dsp.Hann(n)
+	e.sig = make([]float64, n)
+	e.mag = make([]float64, n)
+	e.buf = make([]float64, padded)
+	e.power = make([]float64, bins)
+	e.accPower = make([]float64, bins)
+	e.masked = make([]bool, bins)
+}
+
+// periodogramInto computes the Hann-windowed one-sided power spectrum of x
+// into dst using the cached plan, mirroring dsp.Periodogram without its
+// allocations. The zero-padded tail of e.buf is only ever written with
+// zeros, so it needs no re-clearing between calls.
+func (e *Estimator) periodogramInto(dst, x []float64, fs float64) (power []float64, binHz float64) {
+	for i, v := range x {
+		e.buf[i] = v * e.win[i]
+	}
+	return e.plan.PowerSpectrumInto(dst, e.buf), fs / float64(len(e.buf))
+}
+
 // EstimateHR implements models.HREstimator.
 func (e *Estimator) EstimateHR(w *dalia.Window) float64 {
-	ppg := append([]float64(nil), w.PPG...)
+	e.ensureScratch(len(w.PPG))
+	ppg := e.sig
+	copy(ppg, w.PPG)
 	dsp.Detrend(ppg)
-	power, binHz := dsp.Periodogram(ppg, w.Rate)
+	power, binHz := e.periodogramInto(e.power, ppg, w.Rate)
 
 	// Accelerometer reference spectrum for artifact masking — engaged
 	// only when the wrist is actually moving.
-	mag := w.AccelMagnitude()
+	mag := dsp.MagnitudeInto(e.mag, w.AccelX, w.AccelY, w.AccelZ)
 	dsp.Detrend(mag)
-	maskedBins := make([]bool, len(power))
+	maskedBins := e.masked[:len(power)]
+	for i := range maskedBins {
+		maskedBins[i] = false
+	}
 	if dsp.RMS(mag) >= e.MotionRMS {
-		accPower, accBin := dsp.Periodogram(mag, w.Rate)
-		maskedBins = e.motionBins(accPower, accBin, len(power), binHz)
+		accPower, accBin := e.periodogramInto(e.accPower, mag, w.Rate)
+		e.motionBins(maskedBins, accPower, accBin, binHz)
 	}
 
 	lo := int(e.LoHz/binHz) + 1
@@ -108,8 +159,7 @@ func (e *Estimator) EstimateHR(w *dalia.Window) float64 {
 
 // motionBins flags cardiac-band bins whose frequency lies within MaskHz of
 // a strong accelerometer component (≥ 25 % of the accel spectrum's peak).
-func (e *Estimator) motionBins(accPower []float64, accBin float64, nBins int, binHz float64) []bool {
-	masked := make([]bool, nBins)
+func (e *Estimator) motionBins(masked []bool, accPower []float64, accBin, binHz float64) {
 	var peak float64
 	for k := 1; k < len(accPower); k++ {
 		if accPower[k] > peak {
@@ -117,7 +167,7 @@ func (e *Estimator) motionBins(accPower []float64, accBin float64, nBins int, bi
 		}
 	}
 	if peak == 0 {
-		return masked
+		return
 	}
 	for k := 1; k < len(accPower); k++ {
 		if accPower[k] < 0.25*peak {
@@ -129,13 +179,12 @@ func (e *Estimator) motionBins(accPower []float64, accBin float64, nBins int, bi
 		}
 		loBin := int((f - e.MaskHz) / binHz)
 		hiBin := int((f+e.MaskHz)/binHz) + 1
-		for b := loBin; b <= hiBin && b < nBins; b++ {
+		for b := loBin; b <= hiBin && b < len(masked); b++ {
 			if b >= 0 {
 				masked[b] = true
 			}
 		}
 	}
-	return masked
 }
 
 var _ models.HREstimator = (*Estimator)(nil)

@@ -15,7 +15,9 @@ type Conv1D struct {
 	Weight *Param // shape [OutC, InC, Kernel]
 	Bias   *Param // shape [OutC]
 
-	x *Tensor // cached input for backward
+	x  *Tensor // cached input for backward
+	y  *Tensor // reused output (layer-local arena)
+	gx *Tensor // reused input gradient
 }
 
 // NewConv1D constructs the layer (weights must be initialized separately).
@@ -60,18 +62,42 @@ func (l *Conv1D) CloneForWorker() Layer {
 	c := *l
 	c.Weight = l.Weight.shadow()
 	c.Bias = l.Bias.shadow()
-	c.x = nil
+	c.x, c.y, c.gx = nil, nil, nil
 	return &c
 }
 
-// Forward implements Layer.
+// tapRange returns the output positions [t0, t1] for which kernel tap
+// offset off = k·D - padL reads inside [0, inT): t·S + off ∈ [0, inT).
+// Clamping the range once per tap keeps the inner time loop branch-free.
+// An empty range is signalled by t1 < t0.
+func tapRange(off, stride, inT, outT int) (t0, t1 int) {
+	if off >= inT {
+		// Even t = 0 reads past the input; Go's truncated division would
+		// otherwise round the negative numerator below toward zero and
+		// report position 0 as valid.
+		return 0, -1
+	}
+	t0 = 0
+	if off < 0 {
+		t0 = (-off + stride - 1) / stride
+	}
+	t1 = (inT - 1 - off) / stride
+	if t1 > outT-1 {
+		t1 = outT - 1
+	}
+	return t0, t1
+}
+
+// Forward implements Layer. The output tensor is owned by the layer and
+// overwritten by the next call; after the first call on a given shape the
+// pass performs no heap allocations.
 func (l *Conv1D) Forward(x *Tensor) *Tensor {
 	if x.C != l.InC {
 		panic(fmt.Sprintf("tcn: conv %s expects %d channels, got %d", l.Name(), l.InC, x.C))
 	}
 	l.x = x
 	_, outT := l.OutShape(x.C, x.T)
-	y := NewTensor(l.OutC, outT)
+	y := ensureTensor(&l.y, l.OutC, outT)
 	padL := l.padLeft()
 	K, D, S := l.Kernel, l.Dilation, l.Stride
 	for o := 0; o < l.OutC; o++ {
@@ -83,17 +109,24 @@ func (l *Conv1D) Forward(x *Tensor) *Tensor {
 		for ci := 0; ci < l.InC; ci++ {
 			xRow := x.Row(ci)
 			wBase := (o*l.InC + ci) * K
+			if S == 1 && K <= maxFusedTaps {
+				convRowFused(yRow, xRow, l.Weight.W[wBase:wBase+K], D, padL, x.T, outT)
+				continue
+			}
 			for k := 0; k < K; k++ {
 				w := l.Weight.W[wBase+k]
 				if w == 0 {
 					continue
 				}
 				off := k*D - padL
-				for t := 0; t < outT; t++ {
-					src := t*S + off
-					if src >= 0 && src < x.T {
-						yRow[t] += w * xRow[src]
-					}
+				t0, t1 := tapRange(off, S, x.T, outT)
+				if t1 < t0 {
+					continue
+				}
+				src := t0*S + off
+				for t := t0; t <= t1; t++ {
+					yRow[t] += w * xRow[src]
+					src += S
 				}
 			}
 		}
@@ -101,10 +134,94 @@ func (l *Conv1D) Forward(x *Tensor) *Tensor {
 	return y
 }
 
-// Backward implements Layer.
+// maxFusedTaps bounds the stack-allocated tap descriptors of the fused
+// stride-1 kernel; larger kernels take the generic per-tap path.
+const maxFusedTaps = 8
+
+// convRowFused accumulates every nonzero kernel tap into yRow in a single
+// sweep: the interior range where all taps read valid samples runs one
+// load/store of y per element (instead of one per tap), with the taps
+// added in ascending-k order inside a register accumulator — so the result
+// stays bitwise identical to the naive per-tap loops. Edge positions are
+// finished with short per-tap loops.
+func convRowFused(yRow, xRow, w []float32, dilation, padL, inT, outT int) {
+	var ws [maxFusedTaps]float32
+	var offs, lo, hi [maxFusedTaps]int
+	nt := 0
+	it0, it1 := 0, outT-1
+	for k, wk := range w {
+		if wk == 0 {
+			continue
+		}
+		off := k*dilation - padL
+		t0, t1 := tapRange(off, 1, inT, outT)
+		if t1 < t0 {
+			continue
+		}
+		ws[nt], offs[nt], lo[nt], hi[nt] = wk, off, t0, t1
+		if t0 > it0 {
+			it0 = t0
+		}
+		if t1 < it1 {
+			it1 = t1
+		}
+		nt++
+	}
+	if nt == 0 {
+		return
+	}
+	if it1 < it0 {
+		// No common interior (tiny outputs): plain per-tap loops.
+		for i := 0; i < nt; i++ {
+			wk, off := ws[i], offs[i]
+			for t := lo[i]; t <= hi[i]; t++ {
+				yRow[t] += wk * xRow[t+off]
+			}
+		}
+		return
+	}
+	// Left and right edges, per tap, ascending k.
+	for i := 0; i < nt; i++ {
+		wk, off := ws[i], offs[i]
+		for t := lo[i]; t < it0; t++ {
+			yRow[t] += wk * xRow[t+off]
+		}
+		for t := it1 + 1; t <= hi[i]; t++ {
+			yRow[t] += wk * xRow[t+off]
+		}
+	}
+	// Fused interior.
+	ys := yRow[it0 : it1+1]
+	if nt == 3 { // the whole TimePPG topology is kernel-3
+		w0, w1, w2 := ws[0], ws[1], ws[2]
+		x0 := xRow[it0+offs[0]:]
+		x1 := xRow[it0+offs[1]:]
+		x2 := xRow[it0+offs[2]:]
+		for i := range ys {
+			acc := ys[i]
+			acc += w0 * x0[i]
+			acc += w1 * x1[i]
+			acc += w2 * x2[i]
+			ys[i] = acc
+		}
+		return
+	}
+	for i := range ys {
+		acc := ys[i]
+		t := it0 + i
+		for j := 0; j < nt; j++ {
+			acc += ws[j] * xRow[t+offs[j]]
+		}
+		ys[i] = acc
+	}
+}
+
+// Backward implements Layer. Like Forward, the returned gradient tensor is
+// layer-owned and reused across calls.
 func (l *Conv1D) Backward(grad *Tensor) *Tensor {
 	x := l.x
-	gx := NewTensor(x.C, x.T)
+	gx := ensureTensor(&l.gx, x.C, x.T)
+	gx.Zero()
 	padL := l.padLeft()
 	K, D, S := l.Kernel, l.Dilation, l.Stride
 	for o := 0; o < l.OutC; o++ {
@@ -120,13 +237,27 @@ func (l *Conv1D) Backward(grad *Tensor) *Tensor {
 			wBase := (o*l.InC + ci) * K
 			for k := 0; k < K; k++ {
 				off := k*D - padL
+				t0, t1 := tapRange(off, S, x.T, len(gRow))
+				if t1 < t0 {
+					continue
+				}
 				var gw float32
 				w := l.Weight.W[wBase+k]
-				for t, g := range gRow {
-					src := t*S + off
-					if src >= 0 && src < x.T {
+				if S == 1 {
+					gs := gRow[t0 : t1+1]
+					xs := xRow[t0+off : t1+off+1]
+					gxs := gxRow[t0+off : t1+off+1]
+					for i, g := range gs {
+						gw += g * xs[i]
+						gxs[i] += g * w
+					}
+				} else {
+					src := t0*S + off
+					for t := t0; t <= t1; t++ {
+						g := gRow[t]
 						gw += g * xRow[src]
 						gxRow[src] += g * w
+						src += S
 					}
 				}
 				l.Weight.G[wBase+k] += gw

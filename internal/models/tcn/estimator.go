@@ -15,6 +15,8 @@ type HRNet struct {
 	qnet *QuantNetwork
 	// UseQuantized selects the int8 path when a quantized form exists.
 	UseQuantized bool
+
+	in *Tensor // reused input tensor
 }
 
 // NewEstimator wraps a trained float network.
@@ -49,7 +51,8 @@ func (h *HRNet) Params() int64 { return h.net.NumParams() }
 
 // EstimateHR implements models.HREstimator.
 func (h *HRNet) EstimateHR(w *dalia.Window) float64 {
-	x := WindowToTensor(w)
+	x := ensureTensor(&h.in, InputChannels, len(w.PPG))
+	WindowIntoTensor(x, w)
 	var z float32
 	if h.Quantized() {
 		z = h.qnet.Forward(x)
@@ -59,20 +62,24 @@ func (h *HRNet) EstimateHR(w *dalia.Window) float64 {
 	return models.ClampHR(DenormalizeHR(z))
 }
 
-// Clone returns an estimator sharing weights but owning private activation
-// caches, for concurrent evaluation.
+// Clone returns an estimator sharing weights (float and int8) but owning
+// private activation buffers, for concurrent evaluation.
 func (h *HRNet) Clone() *HRNet {
 	c := &HRNet{net: h.net.CloneForWorker(), UseQuantized: h.UseQuantized}
 	if h.qnet != nil {
-		// The quantized net's mutable state is one small output buffer;
-		// rebuilding it per clone would need calibration data, so clones
-		// fall back to the float path unless quantization is re-run.
-		c.qnet = h.qnet
+		c.qnet = h.qnet.CloneForWorker()
 	}
 	return c
 }
 
-var _ models.HREstimator = (*HRNet)(nil)
+// CloneEstimator implements models.WorkerCloner, enabling the parallel
+// record builder to fan TCN inference out across goroutines.
+func (h *HRNet) CloneEstimator() models.HREstimator { return h.Clone() }
+
+var (
+	_ models.HREstimator  = (*HRNet)(nil)
+	_ models.WorkerCloner = (*HRNet)(nil)
+)
 
 // String summarizes the estimator.
 func (h *HRNet) String() string {

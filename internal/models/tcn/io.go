@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Weight-file format (little endian):
@@ -20,17 +21,34 @@ import (
 const weightMagic = "TCNW"
 const weightVersion = 1
 
-// Save writes the network's parameters to path.
+// Save writes the network's parameters to path. The write is crash-safe:
+// it goes to a temporary file in the destination directory and is renamed
+// into place only after a successful flush, so an interrupted run can
+// never leave a truncated weight file behind (which would poison every
+// later cache load).
 func Save(n *Network, path string) (err error) {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
 		}
 	}()
+	if err := saveTo(f, n); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func saveTo(f *os.File, n *Network) error {
 	w := bufio.NewWriter(f)
 	if _, err := w.WriteString(weightMagic); err != nil {
 		return err

@@ -24,6 +24,8 @@ type Layer interface {
 type ReLU struct {
 	name string
 	x    *Tensor
+	y    *Tensor
+	gx   *Tensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -47,10 +49,12 @@ func (l *ReLU) MACs(c, t int) int64 { return 0 }
 // Forward implements Layer.
 func (l *ReLU) Forward(x *Tensor) *Tensor {
 	l.x = x
-	y := NewTensor(x.C, x.T)
+	y := ensureTensor(&l.y, x.C, x.T)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
 		}
 	}
 	return y
@@ -58,10 +62,12 @@ func (l *ReLU) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(grad *Tensor) *Tensor {
-	gx := NewTensor(grad.C, grad.T)
+	gx := ensureTensor(&l.gx, grad.C, grad.T)
 	for i, v := range l.x.Data {
 		if v > 0 {
 			gx.Data[i] = grad.Data[i]
+		} else {
+			gx.Data[i] = 0
 		}
 	}
 	return gx
@@ -74,6 +80,8 @@ type ChannelAffine struct {
 	Gamma *Param
 	Beta  *Param
 	x     *Tensor
+	y     *Tensor
+	gx    *Tensor
 }
 
 // NewChannelAffine returns an affine layer over c channels, initialized to
@@ -106,7 +114,7 @@ func (l *ChannelAffine) MACs(c, t int) int64 { return int64(c) * int64(t) }
 // Forward implements Layer.
 func (l *ChannelAffine) Forward(x *Tensor) *Tensor {
 	l.x = x
-	y := NewTensor(x.C, x.T)
+	y := ensureTensor(&l.y, x.C, x.T)
 	for c := 0; c < x.C; c++ {
 		g, b := l.Gamma.W[c], l.Beta.W[c]
 		xr, yr := x.Row(c), y.Row(c)
@@ -119,7 +127,7 @@ func (l *ChannelAffine) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (l *ChannelAffine) Backward(grad *Tensor) *Tensor {
-	gx := NewTensor(grad.C, grad.T)
+	gx := ensureTensor(&l.gx, grad.C, grad.T)
 	for c := 0; c < grad.C; c++ {
 		var gg, gb float32
 		xr, gr, gxr := l.x.Row(c), grad.Row(c), gx.Row(c)
@@ -139,6 +147,8 @@ func (l *ChannelAffine) Backward(grad *Tensor) *Tensor {
 type Flatten struct {
 	name string
 	c, t int
+	out  Tensor // reused view headers over the input/gradient data
+	back Tensor
 }
 
 // NewFlatten returns a flatten layer.
@@ -162,12 +172,14 @@ func (l *Flatten) MACs(c, t int) int64 { return 0 }
 // Forward implements Layer.
 func (l *Flatten) Forward(x *Tensor) *Tensor {
 	l.c, l.t = x.C, x.T
-	return &Tensor{C: x.C * x.T, T: 1, Data: x.Data}
+	l.out = Tensor{C: x.C * x.T, T: 1, Data: x.Data}
+	return &l.out
 }
 
 // Backward implements Layer.
 func (l *Flatten) Backward(grad *Tensor) *Tensor {
-	return &Tensor{C: l.c, T: l.t, Data: grad.Data}
+	l.back = Tensor{C: l.c, T: l.t, Data: grad.Data}
+	return &l.back
 }
 
 // Dense is a fully connected layer over flattened tensors (T must be 1).
@@ -176,6 +188,8 @@ type Dense struct {
 	Weight  *Param // shape [Out, In]
 	Bias    *Param // shape [Out]
 	x       *Tensor
+	y       *Tensor
+	gx      *Tensor
 }
 
 // NewDense constructs the layer.
@@ -194,7 +208,7 @@ func (l *Dense) CloneForWorker() Layer {
 	c := *l
 	c.Weight = l.Weight.shadow()
 	c.Bias = l.Bias.shadow()
-	c.x = nil
+	c.x, c.y, c.gx = nil, nil, nil
 	return &c
 }
 
@@ -210,7 +224,7 @@ func (l *Dense) Forward(x *Tensor) *Tensor {
 		panic(fmt.Sprintf("tcn: dense %s expects %d inputs, got %d", l.Name(), l.In, x.Numel()))
 	}
 	l.x = x
-	y := NewTensor(l.Out, 1)
+	y := ensureTensor(&l.y, l.Out, 1)
 	for o := 0; o < l.Out; o++ {
 		acc := l.Bias.W[o]
 		row := l.Weight.W[o*l.In : (o+1)*l.In]
@@ -224,7 +238,8 @@ func (l *Dense) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (l *Dense) Backward(grad *Tensor) *Tensor {
-	gx := NewTensor(l.x.C, l.x.T)
+	gx := ensureTensor(&l.gx, l.x.C, l.x.T)
+	gx.Zero()
 	for o := 0; o < l.Out; o++ {
 		g := grad.Data[o]
 		l.Bias.G[o] += g
@@ -243,6 +258,7 @@ func (l *Dense) Backward(grad *Tensor) *Tensor {
 // first, its Backward returns nil.
 type InputNorm struct {
 	name string
+	y    *Tensor
 }
 
 // NewInputNorm returns the preprocessing layer.
@@ -265,7 +281,7 @@ func (l *InputNorm) MACs(c, t int) int64 { return int64(3 * c * t) }
 
 // Forward implements Layer.
 func (l *InputNorm) Forward(x *Tensor) *Tensor {
-	y := NewTensor(x.C, x.T)
+	y := ensureTensor(&l.y, x.C, x.T)
 	for c := 0; c < x.C; c++ {
 		xr, yr := x.Row(c), y.Row(c)
 		var mean float64

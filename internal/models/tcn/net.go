@@ -8,10 +8,17 @@ import (
 )
 
 // Network is an ordered stack of layers with a scalar regression head.
+//
+// Layers reuse their output and gradient tensors between calls (a
+// layer-local scratch arena), so after warm-up a forward or backward pass
+// performs zero heap allocations — and a network instance must not be
+// shared between goroutines; use CloneForWorker for data-parallel work.
 type Network struct {
 	Topology string // e.g. "TimePPG-Small"
 	InC, InT int
 	Layers   []Layer
+
+	outGrad *Tensor // reused seed tensor for Backward
 }
 
 // Forward runs the network on one input tensor and returns the scalar
@@ -31,7 +38,7 @@ func (n *Network) Forward(x *Tensor) float32 {
 // accumulating parameter gradients. Forward must have been called first on
 // the same layer instances.
 func (n *Network) Backward(outGrad float32) {
-	grad := NewTensor(1, 1)
+	grad := ensureTensor(&n.outGrad, 1, 1)
 	grad.Data[0] = outGrad
 	cur := grad
 	for i := len(n.Layers) - 1; i >= 0; i-- {

@@ -78,8 +78,20 @@ type qTensor struct {
 	Scale float32 // real value = Data * Scale
 }
 
-func quantizeTensor(x *Tensor, scale float32) *qTensor {
-	q := &qTensor{C: x.C, T: x.T, Data: make([]int8, len(x.Data)), Scale: scale}
+// ensureQTensor is the int8 twin of ensureTensor: ops keep their output
+// tensors in slots so steady-state quantized inference does not allocate.
+func ensureQTensor(slot **qTensor, c, t int, scale float32) *qTensor {
+	q := *slot
+	if q == nil || q.C != c || q.T != t {
+		q = &qTensor{C: c, T: t, Data: make([]int8, c*t)}
+		*slot = q
+	}
+	q.Scale = scale
+	return q
+}
+
+func quantizeTensorInto(slot **qTensor, x *Tensor, scale float32) *qTensor {
+	q := ensureQTensor(slot, x.C, x.T, scale)
 	for i, v := range x.Data {
 		q.Data[i] = clampI8(float32(math.Round(float64(v / scale))))
 	}
@@ -106,6 +118,7 @@ type qConv struct {
 	inScale, outScale                   float32
 	relu                                bool
 	inT                                 int
+	out                                 *qTensor
 }
 
 func (l *qConv) padLeft() int {
@@ -115,7 +128,7 @@ func (l *qConv) padLeft() int {
 
 func (l *qConv) forward(x *qTensor) *qTensor {
 	outT := (x.T-1)/l.stride + 1
-	y := &qTensor{C: l.outC, T: outT, Data: make([]int8, l.outC*outT), Scale: l.outScale}
+	y := ensureQTensor(&l.out, l.outC, outT, l.outScale)
 	padL := l.padLeft()
 	for o := 0; o < l.outC; o++ {
 		mult := l.inScale * l.wScale[o] / l.outScale
@@ -158,13 +171,14 @@ type qDense struct {
 	relu     bool
 	last     bool
 	lastOut  []float32
+	outBuf   *qTensor
 }
 
 func (l *qDense) forward(x *qTensor) *qTensor {
-	if l.last {
+	if l.last && l.lastOut == nil {
 		l.lastOut = make([]float32, l.out)
 	}
-	y := &qTensor{C: l.out, T: 1, Data: make([]int8, l.out), Scale: l.outScale}
+	y := ensureQTensor(&l.outBuf, l.out, 1, l.outScale)
 	for o := 0; o < l.out; o++ {
 		acc := l.bias[o]
 		row := l.weight[o*l.in : (o+1)*l.in]
@@ -186,13 +200,41 @@ func (l *qDense) forward(x *qTensor) *qTensor {
 
 func (l *qDense) macs() int64 { return int64(l.in) * int64(l.out) }
 
-// QuantNetwork is the int8 deployment form of a trained network.
+// QuantNetwork is the int8 deployment form of a trained network. Like the
+// float Network, its ops reuse output buffers between calls, so one
+// instance must not be shared between goroutines; use CloneForWorker.
 type QuantNetwork struct {
 	Topology string
 	InC, InT int
 	norm     *InputNorm
 	inScale  float32
 	ops      []qOp
+	qin      *qTensor // reused quantized-input buffer
+}
+
+// CloneForWorker returns a copy sharing the immutable int8 weights and
+// scales but owning private activation buffers, for data-parallel
+// inference.
+func (q *QuantNetwork) CloneForWorker() *QuantNetwork {
+	c := &QuantNetwork{Topology: q.Topology, InC: q.InC, InT: q.InT, inScale: q.inScale}
+	c.norm = q.norm.CloneForWorker().(*InputNorm)
+	c.ops = make([]qOp, len(q.ops))
+	for i, op := range q.ops {
+		switch v := op.(type) {
+		case *qConv:
+			cp := *v
+			cp.out = nil
+			c.ops[i] = &cp
+		case *qDense:
+			cp := *v
+			cp.outBuf = nil
+			cp.lastOut = nil
+			c.ops[i] = &cp
+		default:
+			c.ops[i] = op
+		}
+	}
+	return c
 }
 
 // Quantize converts a trained float network into int8 form, calibrating
@@ -346,7 +388,7 @@ func Quantize(n *Network, calib []*Tensor) (*QuantNetwork, error) {
 // Forward runs int8 inference and returns the scalar float output.
 func (q *QuantNetwork) Forward(x *Tensor) float32 {
 	normed := q.norm.Forward(x)
-	cur := quantizeTensor(normed, q.inScale)
+	cur := quantizeTensorInto(&q.qin, normed, q.inScale)
 	var lastDense *qDense
 	for _, op := range q.ops {
 		cur = op.forward(cur)

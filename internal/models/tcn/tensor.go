@@ -44,6 +44,21 @@ func (x *Tensor) Zero() {
 // Numel returns the number of elements.
 func (x *Tensor) Numel() int { return len(x.Data) }
 
+// ensureTensor returns *slot when it already has shape c×t, allocating a
+// fresh tensor into the slot otherwise. It is the layer-local arena
+// primitive: every layer keeps its output (and gradient) tensors in such
+// slots, so a forward or backward pass allocates only on the first call
+// for a given shape. Contents are NOT cleared; callers overwrite or Zero
+// as their accumulation pattern requires.
+func ensureTensor(slot **Tensor, c, t int) *Tensor {
+	if x := *slot; x != nil && x.C == c && x.T == t {
+		return x
+	}
+	x := NewTensor(c, t)
+	*slot = x
+	return x
+}
+
 // Param is one learnable parameter array with its gradient accumulator.
 type Param struct {
 	Name  string

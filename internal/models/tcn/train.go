@@ -19,6 +19,13 @@ type Sample struct {
 // (PPG, accel X, Y, Z).
 func WindowToTensor(w *dalia.Window) *Tensor {
 	x := NewTensor(InputChannels, len(w.PPG))
+	WindowIntoTensor(x, w)
+	return x
+}
+
+// WindowIntoTensor fills an existing InputChannels×len(w.PPG) tensor from
+// the window, the allocation-free form used by reusable-input estimators.
+func WindowIntoTensor(x *Tensor, w *dalia.Window) {
 	for i, v := range w.PPG {
 		x.Data[i] = float32(v)
 	}
@@ -32,7 +39,6 @@ func WindowToTensor(w *dalia.Window) *Tensor {
 	for i, v := range w.AccelZ {
 		x.Data[3*t+i] = float32(v)
 	}
-	return x
 }
 
 // WindowsToSamples converts windows into training samples.

@@ -47,16 +47,15 @@ func fixture(t *testing.T) (*hw.System, *core.Engine, []dalia.Window) {
 	complex := &biasEst{name: "best", ops: 12_000_000, bias: 2}
 	sys := hw.NewSystem()
 
+	header := core.NewRecordHeader("cheap", "best")
 	recs := make([]core.WindowRecord, len(ws))
 	for i := range ws {
 		recs[i] = core.WindowRecord{
 			TrueHR:     ws[i].TrueHR,
 			Activity:   ws[i].Activity,
 			Difficulty: cls.DifficultyID(&ws[i]),
-			Pred: map[string]float64{
-				"cheap": ws[i].TrueHR + 8,
-				"best":  ws[i].TrueHR + 2,
-			},
+			Header:     header,
+			Preds:      []float64{ws[i].TrueHR + 8, ws[i].TrueHR + 2},
 		}
 	}
 	zoo, err := core.NewZoo(simple, complex)
