@@ -34,18 +34,28 @@
 //     deployment path reuses its activation buffers the same way. A
 //     network or estimator instance is therefore single-goroutine;
 //     CloneForWorker/Clone produce worker copies sharing weights.
+//   - TCN inference is batched end-to-end: estimators implementing
+//     BatchHREstimator (both TimePPG networks, float32 and int8) run whole
+//     window slices through (N, C, T) batch tensors lowered onto the
+//     blocked, register-unrolled GEMM micro-kernels of internal/gemm via
+//     im2col packing — bitwise identical to window-at-a-time EstimateHR,
+//     ~4× faster on the deployed int8 path. Training mini-batches run
+//     through the same kernels, with gradient reduction and the Adam
+//     update fused into one parallel pass (tcn.Adam.StepFused).
 //   - WindowRecord stores zoo predictions densely ([]float64 indexed
 //     through a shared RecordHeader), BuildRecords fans inference out
-//     across GOMAXPROCS workers (bitwise identical to the serial path),
-//     and ProfileConfigs profiles the 60 configurations in parallel.
+//     across GOMAXPROCS workers and prefers the batched path within each
+//     chunk (bitwise identical to the serial path), and ProfileConfigs
+//     profiles the 60 configurations in parallel.
 //
 // Benchmarks: `go test -bench . -benchmem` covers every kernel
-// (internal/dsp, internal/models/tcn, internal/eval) next to the paper
-// artifacts at the repository root. `chrisbench -json BENCH_<pr>.json`
-// writes the machine-readable trajectory file: per-kernel ns/op and
-// allocs/op for the optimized and seed-reference implementations, plus the
-// headline MAE/energy metrics, so successive perf PRs can be compared
-// (BENCH_1.json is the first datapoint).
+// (internal/dsp, internal/gemm, internal/models/tcn, internal/eval) next
+// to the paper artifacts at the repository root. `chrisbench -json
+// BENCH_<pr>.json` writes the machine-readable trajectory file: per-kernel
+// ns/op and allocs/op for the optimized and seed-reference
+// implementations, plus the headline MAE/energy metrics, so successive
+// perf PRs can be compared (BENCH_1.json is the first datapoint;
+// BENCH_2.json adds the batched-GEMM and int8 qConv kernels).
 package chris
 
 import (
@@ -67,6 +77,10 @@ import (
 type (
 	// HREstimator is the interface every zoo model implements.
 	HREstimator = models.HREstimator
+	// BatchHREstimator is the batched fast path: estimators implementing
+	// it run whole window slices through GEMM-backed kernels, bitwise
+	// identical to window-at-a-time EstimateHR.
+	BatchHREstimator = models.BatchHREstimator
 	// Zoo is the Models Zoo.
 	Zoo = core.Zoo
 	// Config is one operating configuration (model pair + threshold +

@@ -74,6 +74,8 @@ func main() {
 		if _, err := tcn.Fit(net, trainS, tc); err != nil {
 			log.Fatal(err)
 		}
+		// Evaluate runs the GEMM-backed batch forward path internally
+		// (bitwise identical to per-sample inference).
 		log.Printf("%s: train MAE %.2f BPM, val MAE %.2f BPM",
 			name, tcn.Evaluate(net, trainS), tcn.Evaluate(net, valS))
 		if *out != "" {

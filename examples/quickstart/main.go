@@ -1,11 +1,14 @@
 // Quickstart: build a CHRIS pipeline, ask the decision engine for a
-// configuration under an error bound, and track heart rate over a stream
-// of windows — printing which model ran where for each.
+// configuration under an error bound, track heart rate over a stream of
+// windows — printing which model ran where for each — and evaluate the
+// selected models over the whole test split through the batched inference
+// API (the fast path the profiler itself uses).
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	chris "repro"
 )
@@ -56,5 +59,35 @@ func main() {
 		}
 		fmt.Printf("%6d  %-12s  %10d  %-13s  %-5s  %6.1f  %7.1f\n",
 			i, w.Activity, d.Difficulty, d.Model.Name(), where, d.HR, w.TrueHR)
+	}
+
+	// Full-split evaluation through the batch API: models implementing
+	// chris.BatchHREstimator run every window in one GEMM-backed pass
+	// (bitwise identical to window-at-a-time EstimateHR, just faster).
+	fmt.Printf("\nbatched evaluation over %d test windows\n", len(pipe.TestWindows))
+	preds := make([]float64, len(pipe.TestWindows))
+	for _, m := range []chris.HREstimator{cfg.Simple, cfg.Complex} {
+		start := time.Now()
+		path := "serial"
+		if bm, ok := m.(chris.BatchHREstimator); ok {
+			bm.EstimateHRBatch(pipe.TestWindows, preds)
+			path = "batch"
+		} else {
+			for i := range pipe.TestWindows {
+				preds[i] = m.EstimateHR(&pipe.TestWindows[i])
+			}
+		}
+		elapsed := time.Since(start)
+		var mae float64
+		for i := range preds {
+			d := preds[i] - pipe.TestWindows[i].TrueHR
+			if d < 0 {
+				d = -d
+			}
+			mae += d
+		}
+		mae /= float64(len(preds))
+		fmt.Printf("  %-13s %6s path  MAE %5.2f BPM  %8.1f µs/window\n",
+			m.Name(), path, mae, float64(elapsed.Microseconds())/float64(len(preds)))
 	}
 }

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -14,8 +16,20 @@ import (
 // the expensive inference pass over every window. The cache key (embedded
 // in the file name by the caller) covers dataset, split and model
 // configuration; a length check guards against stale files. The on-disk
-// form stores the shared prediction header once plus flat columns, so the
-// file carries no per-record map or header duplication.
+// form opens with a magic + format-version header — gob decodes by field
+// name, so a cache written by an older layout could otherwise decode
+// "successfully" into garbage — followed by the shared prediction header
+// once plus flat columns, so the file carries no per-record map or header
+// duplication. A bad magic or version is an error; callers treat any load
+// error as a miss and rebuild.
+
+// recordCacheMagic identifies a CHRIS record cache; recordCacheVersion is
+// bumped whenever recordFile (or the semantics of its fields) changes, so
+// stale caches are detected and rebuilt instead of silently mis-decoded.
+const (
+	recordCacheMagic   = "CHRR"
+	recordCacheVersion = uint32(2)
+)
 
 // recordFile is the serialized form of a record slice.
 type recordFile struct {
@@ -56,6 +70,12 @@ func saveRecords(path string, recs []core.WindowRecord) error {
 		return err
 	}
 	defer f.Close()
+	if _, err := f.WriteString(recordCacheMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(f, binary.LittleEndian, recordCacheVersion); err != nil {
+		return err
+	}
 	return gob.NewEncoder(f).Encode(rf)
 }
 
@@ -65,6 +85,20 @@ func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
 		return nil, err
 	}
 	defer f.Close()
+	magic := make([]byte, len(recordCacheMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, fmt.Errorf("bench: record cache %s: %w", path, err)
+	}
+	if string(magic) != recordCacheMagic {
+		return nil, fmt.Errorf("bench: %s is not a record cache (or predates the versioned format)", path)
+	}
+	var version uint32
+	if err := binary.Read(f, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("bench: record cache %s: %w", path, err)
+	}
+	if version != recordCacheVersion {
+		return nil, fmt.Errorf("bench: record cache %s has format version %d, want %d", path, version, recordCacheVersion)
+	}
 	var rf recordFile
 	if err := gob.NewDecoder(f).Decode(&rf); err != nil {
 		return nil, err

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+)
+
+func sampleRecords(n int) []core.WindowRecord {
+	header := core.NewRecordHeader("a", "b")
+	recs := make([]core.WindowRecord, n)
+	for i := range recs {
+		recs[i] = core.WindowRecord{
+			TrueHR:     float64(60 + i),
+			Activity:   dalia.Activity(i % dalia.NumActivities),
+			Difficulty: 1 + i%9,
+			Header:     header,
+			Preds:      []float64{float64(i), float64(2 * i)},
+		}
+	}
+	return recs
+}
+
+func TestRecordCacheVersionedRoundTrip(t *testing.T) {
+	recs := sampleRecords(7)
+	path := filepath.Join(t.TempDir(), "records.gob")
+	if err := saveRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadRecords(path, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].TrueHR != recs[i].TrueHR || got[i].Activity != recs[i].Activity ||
+			got[i].Difficulty != recs[i].Difficulty {
+			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+		for j := range recs[i].Preds {
+			if got[i].Preds[j] != recs[i].Preds[j] {
+				t.Fatalf("record %d pred %d: %v vs %v", i, j, got[i].Preds[j], recs[i].Preds[j])
+			}
+		}
+	}
+}
+
+// TestRecordCacheRejectsUnversionedFile covers the exact failure the header
+// exists for: a cache written by the pre-versioning format (a bare gob
+// stream) must be reported as stale, not mis-decoded.
+func TestRecordCacheRejectsUnversionedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old layout: gob of recordFile with no magic/version prefix.
+	if err := gob.NewEncoder(f).Encode(recordFile{Names: []string{"a"}, TrueHR: []float64{70}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := loadRecords(path, 1); err == nil {
+		t.Fatal("unversioned cache accepted")
+	} else if !strings.Contains(err.Error(), "not a record cache") {
+		t.Fatalf("unexpected error for unversioned cache: %v", err)
+	}
+}
+
+func TestRecordCacheRejectsWrongVersion(t *testing.T) {
+	recs := sampleRecords(3)
+	path := filepath.Join(t.TempDir(), "records.gob")
+	if err := saveRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[len(recordCacheMagic):], recordCacheVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRecords(path, len(recs)); err == nil {
+		t.Fatal("future-version cache accepted")
+	} else if !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("unexpected error for version mismatch: %v", err)
+	}
+}
+
+func TestRecordCacheRejectsTruncatedHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.gob")
+	if err := os.WriteFile(path, []byte("CH"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRecords(path, 1); err == nil {
+		t.Fatal("truncated cache accepted")
+	}
+}

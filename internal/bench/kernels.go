@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/dsp"
+	"repro/internal/gemm"
 	"repro/internal/models/tcn"
 )
 
@@ -22,12 +23,22 @@ type KernelResult struct {
 }
 
 func runKernel(name string, fn func(b *testing.B)) KernelResult {
+	return runKernelScaled(name, 1, fn)
+}
+
+// runKernelScaled divides every measurement by scale, so a benchmark body
+// that processes a whole batch per iteration still reports per-window
+// numbers comparable with its serial counterpart. Allocation counts round
+// up, so even a single allocation per batch stays visible rather than
+// truncating to a clean zero.
+func runKernelScaled(name string, scale int, fn func(b *testing.B)) KernelResult {
 	r := testing.Benchmark(fn)
+	s := int64(scale)
 	return KernelResult{
 		Name:        name,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N) / float64(scale),
+		AllocsPerOp: (r.AllocsPerOp() + s - 1) / s,
+		BytesPerOp:  (r.AllocedBytesPerOp() + s - 1) / s,
 	}
 }
 
@@ -58,6 +69,49 @@ func KernelBenchmarks() []KernelResult {
 	in := tcn.NewTensor(tcn.InputChannels, tcn.InputSamples)
 	for i := range in.Data {
 		in.Data[i] = float32(rng.NormFloat64())
+	}
+
+	// The int8 deployment form of TimePPG-Big (the path the suite actually
+	// profiles) plus a batch of windows for the GEMM-backed kernels.
+	var calib []*tcn.Tensor
+	for i := 0; i < 8; i++ {
+		c := tcn.NewTensor(tcn.InputChannels, tcn.InputSamples)
+		for j := range c.Data {
+			c.Data[j] = float32(rng.NormFloat64())
+		}
+		calib = append(calib, c)
+	}
+	qbig, err := tcn.Quantize(big, calib)
+	if err != nil {
+		panic("bench: quantizing TimePPG-Big for kernels: " + err.Error())
+	}
+	const batch = 32
+	inB := tcn.NewBatchTensor(batch, tcn.InputChannels, tcn.InputSamples)
+	for i := range inB.Data {
+		inB.Data[i] = float32(rng.NormFloat64())
+	}
+	outB := make([]float32, batch)
+
+	// Raw GEMM micro-kernels at a representative TimePPG-Big conv shape:
+	// 48 output channels × (48·3) im2col rows × 128 output positions.
+	const gm, gk, gn = 48, 144, 128
+	ga := make([]float32, gm*gk)
+	gb := make([]float32, gk*gn)
+	gc := make([]float32, gm*gn)
+	for i := range ga {
+		ga[i] = float32(rng.NormFloat64())
+	}
+	for i := range gb {
+		gb[i] = float32(rng.NormFloat64())
+	}
+	sa := make([]int8, gm*gk)
+	sb := make([]int8, gk*gn)
+	sc := make([]int32, gm*gn)
+	for i := range sa {
+		sa[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range sb {
+		sb[i] = int8(rng.Intn(255) - 127)
 	}
 
 	return []KernelResult{
@@ -101,6 +155,41 @@ func KernelBenchmarks() []KernelResult {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				big.Forward(in)
+			}
+		}),
+		// Batched float32 path: per-window cost of the im2col+GEMM kernels
+		// over a 32-window batch, next to the serial TimePPGBigForward.
+		runKernelScaled("TimePPGBigForwardBatch32/win", batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				big.ForwardBatch(inB, outB)
+			}
+		}),
+		// Int8 deployed path: the serial qConv kernels (the seed-equivalent
+		// reference) against the batched int8 GEMM form.
+		runKernel("QuantBigForward/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qbig.Forward(in)
+			}
+		}),
+		runKernelScaled("QuantBigForwardBatch32/win", batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qbig.ForwardBatch(inB, outB)
+			}
+		}),
+		// Raw GEMM micro-kernels (float32 and CMSIS-NN-style int8).
+		runKernel("GemmF32_48x144x128", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.F32(gc, ga, gb, gm, gk, gn)
+			}
+		}),
+		runKernel("GemmS8_48x144x128", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.S8(sc, sa, sb, gm, gk, gn)
 			}
 		}),
 	}

@@ -50,9 +50,11 @@ func (h *RecordHeader) Len() int { return len(h.names) }
 // ground truth, the difficulty detector's (possibly wrong) output, and
 // every zoo model's prediction. Materializing records once makes profiling
 // all 60 configurations an O(windows) aggregation per configuration
-// instead of re-running inference 60 times. Predictions are stored densely
-// (Preds[i] belongs to Header.Names()[i]); Header is shared across the
-// records of one run.
+// instead of re-running inference 60 times — and the one inference pass
+// that fills them (eval.BuildRecords) runs the zoo's batched estimators,
+// so the records are cheap to (re)build as well as to aggregate.
+// Predictions are stored densely (Preds[i] belongs to Header.Names()[i]);
+// Header is shared across the records of one run.
 type WindowRecord struct {
 	TrueHR     float64
 	Activity   dalia.Activity

@@ -25,8 +25,13 @@ import (
 // windows into contiguous chunks, each chunk served by a private worker
 // clone; models without clone support — typically trackers whose output
 // depends on window order — run serially over the full sequence in their
-// own goroutine. Every (window, model) value is computed exactly as in the
-// serial path, so the records are bitwise independent of the worker count.
+// own goroutine. Within a chunk, estimators implementing
+// models.BatchHREstimator take the batched path — one GEMM-backed pass
+// over the whole chunk — in preference to window-at-a-time dispatch.
+// Every (window, model) value is computed exactly as in the serial path
+// (batch implementations guarantee bitwise equality per window), so the
+// records are bitwise independent of both the worker count and the batch
+// boundaries.
 func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifier) ([]core.WindowRecord, error) {
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("eval: no windows")
@@ -71,12 +76,23 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var batchOut []float64 // lazily sized scratch shared by batch models
 			for mi, m := range zoo {
 				cloner, ok := m.(models.WorkerCloner)
 				if !ok {
 					continue // handled serially below
 				}
 				est := cloner.CloneEstimator()
+				if be, ok := est.(models.BatchHREstimator); ok {
+					if batchOut == nil {
+						batchOut = make([]float64, hi-lo)
+					}
+					be.EstimateHRBatch(ws[lo:hi], batchOut)
+					for i := lo; i < hi; i++ {
+						recs[i].Preds[mi] = batchOut[i-lo]
+					}
+					continue
+				}
 				for i := lo; i < hi; i++ {
 					recs[i].Preds[mi] = est.EstimateHR(&ws[i])
 				}
@@ -88,7 +104,9 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 		}(lo, hi)
 	}
 	// Stateful models keep their sequential window order; each writes its
-	// own dense column, so they still overlap with everything else.
+	// own dense column, so they still overlap with everything else. A batch
+	// implementation is still preferred: sequencing is preserved because
+	// the single goroutine sees every window in order.
 	for mi, m := range zoo {
 		if _, ok := m.(models.WorkerCloner); ok {
 			continue
@@ -96,6 +114,14 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 		wg.Add(1)
 		go func(mi int, m models.HREstimator) {
 			defer wg.Done()
+			if be, ok := m.(models.BatchHREstimator); ok {
+				out := make([]float64, len(ws))
+				be.EstimateHRBatch(ws, out)
+				for i := range ws {
+					recs[i].Preds[mi] = out[i]
+				}
+				return
+			}
 			for i := range ws {
 				recs[i].Preds[mi] = m.EstimateHR(&ws[i])
 			}

@@ -1,0 +1,254 @@
+// Package gemm provides the matrix-multiply micro-kernels the TCN batch
+// inference and training paths lower onto: a float32 kernel pair (plain and
+// B-transposed) and an int8 pair with int32 accumulators, the CMSIS-NN-style
+// shape the deployed quantized path uses.
+//
+// All kernels are accumulate-in-place: C must be pre-initialized by the
+// caller (bias rows, running gradients, or zeros) and each output element is
+// updated as one sequential chain
+//
+//	c = ((c + a·b₀) + a·b₁) + … + a·b_{k-1}
+//
+// with the k products added one at a time in ascending-k order. That makes
+// the float32 results bitwise identical to the scalar reference loops the
+// rest of the repository keeps (bias-seeded, ascending-tap accumulation), so
+// batched inference reproduces serial inference exactly; the int8 kernels
+// are exact integer arithmetic and order-independent by construction.
+//
+// The kernels are blocked for locality (the unrolled column tile is walked
+// outermost, so the B panel it touches stays cache-resident across all rows
+// of A) and register-unrolled 8- then 4-wide over independent output
+// elements — never over the reduction dimension, which would reassociate
+// the float32 sums and break bitwise reproducibility.
+package gemm
+
+// F32 computes C += A·B with A (m×k), B (k×n) and C (m×n), all row-major
+// and dense (no leading-dimension padding). Per output element the k
+// products are accumulated in ascending-k order on top of the existing C
+// value.
+func F32(c, a, b []float32, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return
+	}
+	_ = a[m*k-1]
+	_ = b[k*n-1]
+	_ = c[m*n-1]
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+8 : ci+8]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			c4, c5, c6, c7 := cr[4], cr[5], cr[6], cr[7]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				br := b[bi : bi+8 : bi+8]
+				c0 += av * br[0]
+				c1 += av * br[1]
+				c2 += av * br[2]
+				c3 += av * br[3]
+				c4 += av * br[4]
+				c5 += av * br[5]
+				c6 += av * br[6]
+				c7 += av * br[7]
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+			cr[4], cr[5], cr[6], cr[7] = c4, c5, c6, c7
+		}
+	}
+	for ; j+4 <= n; j += 4 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+4 : ci+4]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				br := b[bi : bi+4 : bi+4]
+				c0 += av * br[0]
+				c1 += av * br[1]
+				c2 += av * br[2]
+				c3 += av * br[3]
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			acc := c[i*n+j]
+			bi := j
+			for p := 0; p < k; p++ {
+				acc += ar[p] * b[bi]
+				bi += n
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// F32NT computes C += A·Bᵀ with A (m×k), B (n×k) and C (m×n), all
+// row-major: C[i][j] += Σ_p A[i][p]·B[j][p]. The reduction runs over
+// contiguous rows of both operands (the dot-product form), unrolled four
+// rows of A at a time so each streamed B row is reused across four
+// independent accumulators.
+func F32NT(c, a, b []float32, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return
+	}
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a[i*k : i*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k]
+		for j := 0; j < n; j++ {
+			br := b[j*k : j*k+k]
+			c0 := c[i*n+j]
+			c1 := c[(i+1)*n+j]
+			c2 := c[(i+2)*n+j]
+			c3 := c[(i+3)*n+j]
+			for p, bv := range br {
+				c0 += a0[p] * bv
+				c1 += a1[p] * bv
+				c2 += a2[p] * bv
+				c3 += a3[p] * bv
+			}
+			c[i*n+j] = c0
+			c[(i+1)*n+j] = c1
+			c[(i+2)*n+j] = c2
+			c[(i+3)*n+j] = c3
+		}
+	}
+	for ; i < m; i++ {
+		ar := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			br := b[j*k : j*k+k]
+			acc := c[i*n+j]
+			for p, bv := range br {
+				acc += ar[p] * bv
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// S8 computes C += A·B with int8 operands A (m×k), B (k×n) and int32
+// accumulators C (m×n), row-major — the widened-accumulator shape of
+// CMSIS-NN int8 convolution kernels. Integer accumulation is exact, so the
+// result is independent of unrolling or blocking.
+func S8(c []int32, a, b []int8, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return
+	}
+	_ = a[m*k-1]
+	_ = b[k*n-1]
+	_ = c[m*n-1]
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+8 : ci+8]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			c4, c5, c6, c7 := cr[4], cr[5], cr[6], cr[7]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := int32(ar[p])
+				br := b[bi : bi+8 : bi+8]
+				c0 += av * int32(br[0])
+				c1 += av * int32(br[1])
+				c2 += av * int32(br[2])
+				c3 += av * int32(br[3])
+				c4 += av * int32(br[4])
+				c5 += av * int32(br[5])
+				c6 += av * int32(br[6])
+				c7 += av * int32(br[7])
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+			cr[4], cr[5], cr[6], cr[7] = c4, c5, c6, c7
+		}
+	}
+	for ; j+4 <= n; j += 4 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+4 : ci+4]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := int32(ar[p])
+				br := b[bi : bi+4 : bi+4]
+				c0 += av * int32(br[0])
+				c1 += av * int32(br[1])
+				c2 += av * int32(br[2])
+				c3 += av * int32(br[3])
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			acc := c[i*n+j]
+			bi := j
+			for p := 0; p < k; p++ {
+				acc += int32(ar[p]) * int32(b[bi])
+				bi += n
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// S8NT computes C += A·Bᵀ with int8 operands A (m×k), B (n×k) and int32
+// accumulators C (m×n), row-major: the batched fully-connected shape
+// (activations × weight-rows).
+func S8NT(c []int32, a, b []int8, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return
+	}
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a[i*k : i*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k]
+		for j := 0; j < n; j++ {
+			br := b[j*k : j*k+k]
+			c0 := c[i*n+j]
+			c1 := c[(i+1)*n+j]
+			c2 := c[(i+2)*n+j]
+			c3 := c[(i+3)*n+j]
+			for p, bv := range br {
+				w := int32(bv)
+				c0 += int32(a0[p]) * w
+				c1 += int32(a1[p]) * w
+				c2 += int32(a2[p]) * w
+				c3 += int32(a3[p]) * w
+			}
+			c[i*n+j] = c0
+			c[(i+1)*n+j] = c1
+			c[(i+2)*n+j] = c2
+			c[(i+3)*n+j] = c3
+		}
+	}
+	for ; i < m; i++ {
+		ar := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			br := b[j*k : j*k+k]
+			acc := c[i*n+j]
+			for p, bv := range br {
+				acc += int32(ar[p]) * int32(bv)
+			}
+			c[i*n+j] = acc
+		}
+	}
+}

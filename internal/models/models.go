@@ -31,6 +31,18 @@ type WorkerCloner interface {
 	CloneEstimator() HREstimator
 }
 
+// BatchHREstimator is implemented by estimators with a vectorized batch
+// path. EstimateHRBatch writes the estimate for ws[i] into out[i] (out must
+// have at least len(ws) elements) and must return, for every window, the
+// exact value EstimateHR would: the record builder switches freely between
+// the two forms and relies on bitwise-reproducible records. Implementations
+// may assume all windows in one call share a sample length.
+type BatchHREstimator interface {
+	HREstimator
+	// EstimateHRBatch estimates every window in one batched pass.
+	EstimateHRBatch(ws []dalia.Window, out []float64)
+}
+
 // ClampHR bounds an estimate to the physiologically plausible range the
 // dataset generator also enforces.
 func ClampHR(bpm float64) float64 {

@@ -1,6 +1,10 @@
 package tcn
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+)
 
 // Conv1D is a 1-D convolution with dilation and stride over channel-major
 // tensors. Padding is symmetric "same-style": total = (K-1)·dilation,
@@ -18,6 +22,14 @@ type Conv1D struct {
 	x  *Tensor // cached input for backward
 	y  *Tensor // reused output (layer-local arena)
 	gx *Tensor // reused input gradient
+
+	// Batched-path arenas: input cache, output, input gradient, and the
+	// im2col/ dcol/ Wᵀ packing buffers the GEMM lowering works out of.
+	xb      *BatchTensor
+	yb, gxb *BatchTensor
+	colBuf  []float32
+	dcolBuf []float32
+	wTBuf   []float32
 }
 
 // NewConv1D constructs the layer (weights must be initialized separately).
@@ -63,6 +75,8 @@ func (l *Conv1D) CloneForWorker() Layer {
 	c.Weight = l.Weight.shadow()
 	c.Bias = l.Bias.shadow()
 	c.x, c.y, c.gx = nil, nil, nil
+	c.xb, c.yb, c.gxb = nil, nil, nil
+	c.colBuf, c.dcolBuf, c.wTBuf = nil, nil, nil
 	return &c
 }
 
@@ -214,6 +228,77 @@ func convRowFused(yRow, xRow, w []float32, dilation, padL, inT, outT int) {
 		}
 		ys[i] = acc
 	}
+}
+
+// ForwardBatch implements Layer: each sample's receptive fields are packed
+// with im2col and multiplied against the weight matrix by the blocked GEMM
+// micro-kernel. Per output element the accumulation is bias-seeded and runs
+// over (channel, tap) in ascending order — the serial Forward order — so
+// the batch result is bitwise identical to Forward sample by sample.
+func (l *Conv1D) ForwardBatch(x *BatchTensor) *BatchTensor {
+	if x.C != l.InC {
+		panic(fmt.Sprintf("tcn: conv %s expects %d channels, got %d", l.Name(), l.InC, x.C))
+	}
+	l.xb = x
+	_, outT := l.OutShape(x.C, x.T)
+	y := ensureBatchTensor(&l.yb, x.N, l.OutC, outT)
+	J := l.InC * l.Kernel
+	col := ensureSlice(&l.colBuf, J*outT)
+	padL := l.padLeft()
+	for n := 0; n < x.N; n++ {
+		im2col(col, x.Sample(n), l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+		ys := y.Sample(n)
+		for o := 0; o < l.OutC; o++ {
+			bias := l.Bias.W[o]
+			row := ys[o*outT : (o+1)*outT]
+			for t := range row {
+				row[t] = bias
+			}
+		}
+		gemm.F32(ys, l.Weight.W, col, l.OutC, J, outT)
+	}
+	return y
+}
+
+// BackwardBatch implements Layer: the weight gradient lowers onto the
+// dot-product GEMM (dW += dY·colᵀ), the input gradient onto a Wᵀ GEMM
+// followed by a col2im scatter. ForwardBatch must have been called first.
+func (l *Conv1D) BackwardBatch(grad *BatchTensor) *BatchTensor {
+	x := l.xb
+	gx := ensureBatchTensor(&l.gxb, x.N, x.C, x.T)
+	outT := grad.T
+	J := l.InC * l.Kernel
+	col := ensureSlice(&l.colBuf, J*outT)
+	dcol := ensureSlice(&l.dcolBuf, J*outT)
+	wT := ensureSlice(&l.wTBuf, J*l.OutC)
+	for o := 0; o < l.OutC; o++ {
+		for j := 0; j < J; j++ {
+			wT[j*l.OutC+o] = l.Weight.W[o*J+j]
+		}
+	}
+	padL := l.padLeft()
+	for n := 0; n < x.N; n++ {
+		g := grad.Sample(n)
+		for o := 0; o < l.OutC; o++ {
+			var gb float32
+			for _, v := range g[o*outT : (o+1)*outT] {
+				gb += v
+			}
+			l.Bias.G[o] += gb
+		}
+		im2col(col, x.Sample(n), l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+		gemm.F32NT(l.Weight.G, g, col, l.OutC, outT, J)
+		for i := range dcol {
+			dcol[i] = 0
+		}
+		gemm.F32(dcol, wT, g, J, l.OutC, outT)
+		gxs := gx.Sample(n)
+		for i := range gxs {
+			gxs[i] = 0
+		}
+		col2imF32(gxs, dcol, l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+	}
+	return gx
 }
 
 // Backward implements Layer. Like Forward, the returned gradient tensor is

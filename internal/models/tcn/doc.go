@@ -11,4 +11,27 @@
 // Absolute accuracy differs from the paper, but the architecture — and
 // therefore the parameter/operation counts feeding the energy models — is
 // preserved, as is the accuracy ordering between the zoo models.
+//
+// # Inference paths
+//
+// Every layer has two forms. The scalar path (Forward/Backward over C×T
+// Tensors) is the reference: fused, allocation-free-after-warm-up kernels
+// whose per-element accumulation order defines the numbers everything else
+// must reproduce. The batched path (ForwardBatch/BackwardBatch over
+// (N, C, T) BatchTensors) lowers convolution and dense layers onto the
+// blocked, register-unrolled GEMM micro-kernels of internal/gemm via
+// im2col packing — the CMSIS-NN-style structure the paper's deployed int8
+// kernels use — and is how the record builder, the estimator API
+// (HRNet.EstimateHRBatch) and the trainer actually run. Batched float32
+// and int8 forward results are bitwise identical to the serial loops: the
+// GEMMs accumulate each output element bias-seeded in ascending
+// (channel, tap) order without reassociation, and the int8 ops use exact
+// int32 arithmetic with the serial rescale expressions. Batched training
+// additionally fuses the cross-worker gradient reduction and the Adam
+// update into one parallel pass over parameter shards (Adam.StepFused).
+//
+// All layer and network instances reuse their activation arenas between
+// calls (scalar and batched arenas are separate), so none are safe for
+// concurrent use; CloneForWorker/Clone produce worker copies sharing
+// weights.
 package tcn

@@ -16,7 +16,9 @@ type HRNet struct {
 	// UseQuantized selects the int8 path when a quantized form exists.
 	UseQuantized bool
 
-	in *Tensor // reused input tensor
+	in  *Tensor      // reused input tensor
+	inB *BatchTensor // reused batched-input tensor
+	zB  []float32    // reused batched-output buffer
 }
 
 // NewEstimator wraps a trained float network.
@@ -62,6 +64,45 @@ func (h *HRNet) EstimateHR(w *dalia.Window) float64 {
 	return models.ClampHR(DenormalizeHR(z))
 }
 
+// batchChunk bounds how many windows one batched forward pass carries.
+// Chunking keeps the per-layer im2col and activation arenas cache-sized no
+// matter how many windows the caller hands over, while still amortizing
+// the per-layer dispatch and weight traffic across the chunk.
+const batchChunk = 32
+
+// EstimateHRBatch implements models.BatchHREstimator: windows flow through
+// the GEMM-backed batch kernels in chunks of batchChunk. Every estimate is
+// bitwise identical to EstimateHR on the same window; after the first call
+// the path performs no heap allocations.
+func (h *HRNet) EstimateHRBatch(ws []dalia.Window, out []float64) {
+	for start := 0; start < len(ws); start += batchChunk {
+		end := start + batchChunk
+		if end > len(ws) {
+			end = len(ws)
+		}
+		n := end - start
+		t := len(ws[start].PPG)
+		xb := ensureBatchTensor(&h.inB, n, InputChannels, t)
+		for i := 0; i < n; i++ {
+			if len(ws[start+i].PPG) != t {
+				panic(fmt.Sprintf("tcn: batch window %d has %d samples, chunk expects %d",
+					start+i, len(ws[start+i].PPG), t))
+			}
+			s := xb.SampleTensor(i)
+			WindowIntoTensor(&s, &ws[start+i])
+		}
+		zs := ensureSlice(&h.zB, n)
+		if h.Quantized() {
+			h.qnet.ForwardBatch(xb, zs)
+		} else {
+			h.net.ForwardBatch(xb, zs)
+		}
+		for i, z := range zs {
+			out[start+i] = models.ClampHR(DenormalizeHR(z))
+		}
+	}
+}
+
 // Clone returns an estimator sharing weights (float and int8) but owning
 // private activation buffers, for concurrent evaluation.
 func (h *HRNet) Clone() *HRNet {
@@ -77,8 +118,9 @@ func (h *HRNet) Clone() *HRNet {
 func (h *HRNet) CloneEstimator() models.HREstimator { return h.Clone() }
 
 var (
-	_ models.HREstimator  = (*HRNet)(nil)
-	_ models.WorkerCloner = (*HRNet)(nil)
+	_ models.HREstimator      = (*HRNet)(nil)
+	_ models.WorkerCloner     = (*HRNet)(nil)
+	_ models.BatchHREstimator = (*HRNet)(nil)
 )
 
 // String summarizes the estimator.

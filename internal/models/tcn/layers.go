@@ -3,15 +3,26 @@ package tcn
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/gemm"
 )
 
 // Layer is one differentiable stage of a network. Forward caches whatever
 // Backward needs; Backward accumulates parameter gradients and returns the
 // input gradient (nil is allowed for the first layer of a network).
+//
+// Every layer also implements the batched pair: ForwardBatch/BackwardBatch
+// run the same computation over an (N, C, T) batch, with ForwardBatch
+// bitwise identical to Forward applied sample by sample (the GEMM-lowered
+// layers keep the serial accumulation order; see internal/gemm). The
+// scalar and batched paths use separate activation arenas, so they may be
+// interleaved on one instance — but an instance is still single-goroutine.
 type Layer interface {
 	Name() string
 	Forward(x *Tensor) *Tensor
 	Backward(grad *Tensor) *Tensor
+	ForwardBatch(x *BatchTensor) *BatchTensor
+	BackwardBatch(grad *BatchTensor) *BatchTensor
 	Params() []*Param
 	// CloneForWorker returns a copy sharing weights but owning private
 	// gradient buffers and activation caches, for data-parallel training.
@@ -26,6 +37,9 @@ type ReLU struct {
 	x    *Tensor
 	y    *Tensor
 	gx   *Tensor
+
+	xb      *BatchTensor
+	yb, gxb *BatchTensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -73,6 +87,33 @@ func (l *ReLU) Backward(grad *Tensor) *Tensor {
 	return gx
 }
 
+// ForwardBatch implements Layer.
+func (l *ReLU) ForwardBatch(x *BatchTensor) *BatchTensor {
+	l.xb = x
+	y := ensureBatchTensor(&l.yb, x.N, x.C, x.T)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// BackwardBatch implements Layer.
+func (l *ReLU) BackwardBatch(grad *BatchTensor) *BatchTensor {
+	gx := ensureBatchTensor(&l.gxb, grad.N, grad.C, grad.T)
+	for i, v := range l.xb.Data {
+		if v > 0 {
+			gx.Data[i] = grad.Data[i]
+		} else {
+			gx.Data[i] = 0
+		}
+	}
+	return gx
+}
+
 // ChannelAffine applies a learned per-channel scale and shift. It stands in
 // for the paper's batch-normalization layers with their statistics folded
 // into the affine transform (the standard deployment-time form).
@@ -82,6 +123,9 @@ type ChannelAffine struct {
 	x     *Tensor
 	y     *Tensor
 	gx    *Tensor
+
+	xb      *BatchTensor
+	yb, gxb *BatchTensor
 }
 
 // NewChannelAffine returns an affine layer over c channels, initialized to
@@ -143,12 +187,53 @@ func (l *ChannelAffine) Backward(grad *Tensor) *Tensor {
 	return gx
 }
 
+// ForwardBatch implements Layer.
+func (l *ChannelAffine) ForwardBatch(x *BatchTensor) *BatchTensor {
+	l.xb = x
+	y := ensureBatchTensor(&l.yb, x.N, x.C, x.T)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			g, b := l.Gamma.W[c], l.Beta.W[c]
+			xr, yr := x.Row(n, c), y.Row(n, c)
+			for t := range xr {
+				yr[t] = g*xr[t] + b
+			}
+		}
+	}
+	return y
+}
+
+// BackwardBatch implements Layer. Samples accumulate into the parameter
+// gradients in batch order, matching sample-at-a-time Backward.
+func (l *ChannelAffine) BackwardBatch(grad *BatchTensor) *BatchTensor {
+	gx := ensureBatchTensor(&l.gxb, grad.N, grad.C, grad.T)
+	for n := 0; n < grad.N; n++ {
+		for c := 0; c < grad.C; c++ {
+			var gg, gb float32
+			xr, gr, gxr := l.xb.Row(n, c), grad.Row(n, c), gx.Row(n, c)
+			g := l.Gamma.W[c]
+			for t := range gr {
+				gg += gr[t] * xr[t]
+				gb += gr[t]
+				gxr[t] = gr[t] * g
+			}
+			l.Gamma.G[c] += gg
+			l.Beta.G[c] += gb
+		}
+	}
+	return gx
+}
+
 // Flatten reshapes C×T into (C·T)×1.
 type Flatten struct {
 	name string
 	c, t int
 	out  Tensor // reused view headers over the input/gradient data
 	back Tensor
+
+	cb, tb int // batch-path shape cache
+	outB   BatchTensor
+	backB  BatchTensor
 }
 
 // NewFlatten returns a flatten layer.
@@ -182,6 +267,20 @@ func (l *Flatten) Backward(grad *Tensor) *Tensor {
 	return &l.back
 }
 
+// ForwardBatch implements Layer: each sample's C×T block is contiguous, so
+// flattening is a reshaped view of the same storage.
+func (l *Flatten) ForwardBatch(x *BatchTensor) *BatchTensor {
+	l.cb, l.tb = x.C, x.T
+	l.outB = BatchTensor{N: x.N, C: x.C * x.T, T: 1, Data: x.Data}
+	return &l.outB
+}
+
+// BackwardBatch implements Layer.
+func (l *Flatten) BackwardBatch(grad *BatchTensor) *BatchTensor {
+	l.backB = BatchTensor{N: grad.N, C: l.cb, T: l.tb, Data: grad.Data}
+	return &l.backB
+}
+
 // Dense is a fully connected layer over flattened tensors (T must be 1).
 type Dense struct {
 	In, Out int
@@ -190,6 +289,10 @@ type Dense struct {
 	x       *Tensor
 	y       *Tensor
 	gx      *Tensor
+
+	xb      *BatchTensor
+	yb, gxb *BatchTensor
+	gTBuf   []float32
 }
 
 // NewDense constructs the layer.
@@ -209,6 +312,7 @@ func (l *Dense) CloneForWorker() Layer {
 	c.Weight = l.Weight.shadow()
 	c.Bias = l.Bias.shadow()
 	c.x, c.y, c.gx = nil, nil, nil
+	c.xb, c.yb, c.gxb, c.gTBuf = nil, nil, nil, nil
 	return &c
 }
 
@@ -253,12 +357,54 @@ func (l *Dense) Backward(grad *Tensor) *Tensor {
 	return gx
 }
 
+// ForwardBatch implements Layer: the whole batch becomes one GEMM against
+// the weight matrix (Y += X·Wᵀ over bias-seeded outputs), so the weights
+// stream through the cache once per batch instead of once per window. The
+// per-element accumulation order matches Forward, so results are bitwise
+// identical to the serial loop.
+func (l *Dense) ForwardBatch(x *BatchTensor) *BatchTensor {
+	if x.C*x.T != l.In {
+		panic(fmt.Sprintf("tcn: dense %s expects %d inputs, got %d", l.Name(), l.In, x.C*x.T))
+	}
+	l.xb = x
+	y := ensureBatchTensor(&l.yb, x.N, l.Out, 1)
+	for n := 0; n < x.N; n++ {
+		copy(y.Data[n*l.Out:(n+1)*l.Out], l.Bias.W)
+	}
+	gemm.F32NT(y.Data, x.Data, l.Weight.W, x.N, l.In, l.Out)
+	return y
+}
+
+// BackwardBatch implements Layer: dW += dYᵀ·X and dX = dY·W, both GEMMs.
+// Per element both reductions run over samples in batch order seeded from
+// the existing gradient, matching sample-at-a-time Backward bitwise.
+func (l *Dense) BackwardBatch(grad *BatchTensor) *BatchTensor {
+	x := l.xb
+	N := grad.N
+	gT := ensureSlice(&l.gTBuf, l.Out*N)
+	for n := 0; n < N; n++ {
+		for o := 0; o < l.Out; o++ {
+			g := grad.Data[n*l.Out+o]
+			l.Bias.G[o] += g
+			gT[o*N+n] = g
+		}
+	}
+	gemm.F32(l.Weight.G, gT, x.Data, l.Out, N, l.In)
+	gx := ensureBatchTensor(&l.gxb, N, x.C, x.T)
+	for i := range gx.Data {
+		gx.Data[i] = 0
+	}
+	gemm.F32(gx.Data, grad.Data, l.Weight.W, N, l.Out, l.In)
+	return gx
+}
+
 // InputNorm standardizes each channel of the input window to zero mean and
 // unit variance. It is a fixed preprocessing layer (no parameters); being
 // first, its Backward returns nil.
 type InputNorm struct {
 	name string
 	y    *Tensor
+	yb   *BatchTensor
 }
 
 // NewInputNorm returns the preprocessing layer.
@@ -305,6 +451,35 @@ func (l *InputNorm) Forward(x *Tensor) *Tensor {
 // Backward implements Layer: InputNorm must be the first layer, so no
 // upstream gradient is needed.
 func (l *InputNorm) Backward(grad *Tensor) *Tensor { return nil }
+
+// ForwardBatch implements Layer: each (sample, channel) row standardizes
+// independently with the same float64 accumulation as Forward.
+func (l *InputNorm) ForwardBatch(x *BatchTensor) *BatchTensor {
+	y := ensureBatchTensor(&l.yb, x.N, x.C, x.T)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			xr, yr := x.Row(n, c), y.Row(n, c)
+			var mean float64
+			for _, v := range xr {
+				mean += float64(v)
+			}
+			mean /= float64(len(xr))
+			var varAcc float64
+			for _, v := range xr {
+				d := float64(v) - mean
+				varAcc += d * d
+			}
+			std := math.Sqrt(varAcc/float64(len(xr))) + 1e-6
+			for t, v := range xr {
+				yr[t] = float32((float64(v) - mean) / std)
+			}
+		}
+	}
+	return y
+}
+
+// BackwardBatch implements Layer: like Backward, first-layer only.
+func (l *InputNorm) BackwardBatch(grad *BatchTensor) *BatchTensor { return nil }
 
 var (
 	_ Layer = (*ReLU)(nil)

@@ -18,7 +18,8 @@ type Network struct {
 	InC, InT int
 	Layers   []Layer
 
-	outGrad *Tensor // reused seed tensor for Backward
+	outGrad  *Tensor      // reused seed tensor for Backward
+	outGradB *BatchTensor // reused seed tensor for BackwardBatch
 }
 
 // Forward runs the network on one input tensor and returns the scalar

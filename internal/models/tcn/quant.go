@@ -65,9 +65,11 @@ func cloneLayerDeep(l Layer) Layer {
 	}
 }
 
-// qOp is one stage of the quantized pipeline.
+// qOp is one stage of the quantized pipeline. forwardBatch (see
+// quantbatch.go) must be bitwise identical to forward per sample.
 type qOp interface {
 	forward(x *qTensor) *qTensor
+	forwardBatch(x *qBatchTensor) *qBatchTensor
 	macs() int64
 }
 
@@ -119,6 +121,11 @@ type qConv struct {
 	relu                                bool
 	inT                                 int
 	out                                 *qTensor
+
+	// Batched-path arenas (see quantbatch.go).
+	outB   *qBatchTensor
+	colBuf []int8
+	accBuf []int32
 }
 
 func (l *qConv) padLeft() int {
@@ -172,6 +179,11 @@ type qDense struct {
 	last     bool
 	lastOut  []float32
 	outBuf   *qTensor
+
+	// Batched-path arenas (see quantbatch.go).
+	outBB    *qBatchTensor
+	accBuf   []int32
+	lastOutB []float32
 }
 
 func (l *qDense) forward(x *qTensor) *qTensor {
@@ -209,7 +221,8 @@ type QuantNetwork struct {
 	norm     *InputNorm
 	inScale  float32
 	ops      []qOp
-	qin      *qTensor // reused quantized-input buffer
+	qin      *qTensor      // reused quantized-input buffer
+	qinB     *qBatchTensor // batched twin of qin
 }
 
 // CloneForWorker returns a copy sharing the immutable int8 weights and
@@ -224,11 +237,13 @@ func (q *QuantNetwork) CloneForWorker() *QuantNetwork {
 		case *qConv:
 			cp := *v
 			cp.out = nil
+			cp.outB, cp.colBuf, cp.accBuf = nil, nil, nil
 			c.ops[i] = &cp
 		case *qDense:
 			cp := *v
 			cp.outBuf = nil
 			cp.lastOut = nil
+			cp.outBB, cp.accBuf, cp.lastOutB = nil, nil, nil
 			c.ops[i] = &cp
 		default:
 			c.ops[i] = op

@@ -71,12 +71,17 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 12, BatchSize: 8, LR: 4e-3, Seed: 42, LRDecay: 0.9}
 }
 
-// Fit trains the network in place with Adam on Huber loss. Training is
-// deterministic in (cfg.Seed, worker count): each worker owns a contiguous
-// slice of every batch and gradient reduction follows worker order, so the
-// floating-point summation order never depends on goroutine scheduling.
-// Different worker counts change the summation order and may differ in the
-// last bits.
+// Fit trains the network in place with Adam on Huber loss. Each worker
+// forwards and backwards its contiguous slice of every mini-batch through
+// the GEMM-backed batch kernels, and the per-batch gradient reduction and
+// Adam update are fused into a single parallel pass over parameter shards
+// (Adam.StepFused). Training is deterministic in (cfg.Seed, worker count):
+// workers own contiguous batch slices, the fused reduction follows worker
+// order per element, and shard boundaries cannot change results because
+// every element is updated independently. Different worker counts change
+// the summation order and may differ in the last bits, as may the batched
+// kernels' weight-gradient association relative to sample-at-a-time
+// backpropagation.
 func Fit(net *Network, train []Sample, cfg TrainConfig) (finalLoss float64, err error) {
 	if len(train) == 0 {
 		return 0, fmt.Errorf("tcn: empty training set")
@@ -108,7 +113,12 @@ func Fit(net *Network, train []Sample, cfg TrainConfig) (finalLoss float64, err 
 		clones[i] = net.CloneForWorker()
 		cloneParams[i] = clones[i].Params()
 	}
-	mainParams := net.Params()
+
+	// Per-worker batch arenas: the input batch, the forward outputs and the
+	// per-sample loss gradients seeding the backward pass.
+	xbs := make([]*BatchTensor, workers)
+	outBufs := make([][]float32, workers)
+	gradBufs := make([][]float32, workers)
 
 	order := make([]int, len(train))
 	for i := range order {
@@ -137,31 +147,38 @@ func Fit(net *Network, train []Sample, cfg TrainConfig) (finalLoss float64, err 
 				go func(wi, lo, hi int) {
 					defer wg.Done()
 					c := clones[wi]
-					var sum float64
-					for _, idx := range batch[lo:hi] {
-						s := train[idx]
-						p := c.Forward(s.X)
-						loss, grad := HuberLoss(p, NormalizeHR(s.HR))
-						sum += float64(loss)
-						c.Backward(grad)
+					n := hi - lo
+					first := train[batch[lo]].X
+					xb := ensureBatchTensor(&xbs[wi], n, first.C, first.T)
+					sz := first.C * first.T
+					for bi, idx := range batch[lo:hi] {
+						if train[idx].X.Numel() != sz {
+							panic(fmt.Sprintf("tcn: sample %d has %d elements, batch expects %d",
+								idx, train[idx].X.Numel(), sz))
+						}
+						copy(xb.Sample(bi), train[idx].X.Data)
 					}
+					outs := ensureSlice(&outBufs[wi], n)
+					c.ForwardBatch(xb, outs)
+					grads := ensureSlice(&gradBufs[wi], n)
+					var sum float64
+					for bi, idx := range batch[lo:hi] {
+						loss, grad := HuberLoss(outs[bi], NormalizeHR(train[idx].HR))
+						sum += float64(loss)
+						grads[bi] = grad
+					}
+					c.BackwardBatch(grads)
 					losses[wi] = sum
 				}(wi, lo, hi)
 			}
 			wg.Wait()
-			// Deterministic reduction: worker 0 first, then 1, ...
-			inv := 1 / float32(len(batch))
+			// Fused, deterministic reduce+update: worker gradients are
+			// summed in worker order per element and the Adam step applied
+			// in the same parallel pass.
+			opt.StepFused(cloneParams, 1/float32(len(batch)))
 			for wi := 0; wi < workers; wi++ {
-				for pi, p := range cloneParams[wi] {
-					main := mainParams[pi]
-					for i, g := range p.G {
-						main.G[i] += g * inv
-						p.G[i] = 0
-					}
-				}
 				epochLoss += losses[wi]
 			}
-			opt.Step()
 			batches++
 		}
 		epochLoss /= float64(len(order))
@@ -174,19 +191,42 @@ func Fit(net *Network, train []Sample, cfg TrainConfig) (finalLoss float64, err 
 	return finalLoss, nil
 }
 
-// Evaluate returns the MAE in BPM of the network over the samples.
+// Evaluate returns the MAE in BPM of the network over the samples. It runs
+// the batched forward path in chunks; because batched forward is bitwise
+// identical to per-sample Forward, the reported MAE is exactly the serial
+// loop's (raw denormalized outputs, no physiological clamp).
 func Evaluate(net *Network, samples []Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	var xbSlot *BatchTensor
+	var outs []float32
 	var sum float64
-	for _, s := range samples {
-		p := DenormalizeHR(net.Forward(s.X))
-		d := p - s.HR
-		if d < 0 {
-			d = -d
+	for start := 0; start < len(samples); start += batchChunk {
+		end := start + batchChunk
+		if end > len(samples) {
+			end = len(samples)
 		}
-		sum += d
+		n := end - start
+		first := samples[start].X
+		xb := ensureBatchTensor(&xbSlot, n, first.C, first.T)
+		for i := 0; i < n; i++ {
+			s := samples[start+i]
+			if s.X.Numel() != first.Numel() {
+				panic(fmt.Sprintf("tcn: sample %d has %d elements, batch expects %d",
+					start+i, s.X.Numel(), first.Numel()))
+			}
+			copy(xb.Sample(i), s.X.Data)
+		}
+		outs = ensureSlice(&outs, n)
+		net.ForwardBatch(xb, outs)
+		for i := 0; i < n; i++ {
+			d := DenormalizeHR(outs[i]) - samples[start+i].HR
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
 	}
 	return sum / float64(len(samples))
 }
