@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	chrisbench [-quick] [-scale 0.06] [-subjects 15] [-epochs 10] [-cache dir] [-only T1,F4] [-json BENCH_1.json] [-v]
+//	chrisbench [-quick] [-scale 0.06] [-subjects 15] [-epochs 10] [-cache dir] [-resume] [-only T1,F4] [-json BENCH_1.json] [-v]
+//
+// A run killed while building inference records leaves a checkpointed
+// partial cache behind; -resume continues it from the last completed
+// chunk instead of re-running inference from window zero (the finished
+// cache is byte-identical either way).
 //
 // With -json, the run additionally micro-benchmarks the hot-path kernels
 // (optimized and seed-reference forms), measures record-building scaling,
@@ -33,6 +38,7 @@ func main() {
 	subjects := flag.Int("subjects", 0, "cohort size (0 = config default)")
 	epochs := flag.Int("epochs", 0, "TCN training epochs (0 = config default)")
 	cache := flag.String("cache", "", "cache directory (empty = config default)")
+	resume := flag.Bool("resume", false, "continue an interrupted record build from its checkpoint")
 	only := flag.String("only", "", "comma-separated artifact IDs to print (default all)")
 	jsonOut := flag.String("json", "", "write a machine-readable BENCH_*.json perf report to this path")
 	verbose := flag.Bool("v", false, "progress logging")
@@ -54,6 +60,7 @@ func main() {
 	if *cache != "" {
 		cfg.CacheDir = *cache
 	}
+	cfg.Resume = *resume
 	if *verbose {
 		cfg.Progress = func(format string, args ...interface{}) { log.Printf(format, args...) }
 	}

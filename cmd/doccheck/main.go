@@ -1,0 +1,90 @@
+// Command doccheck enforces the repository's documentation floor: every
+// package under the given roots (default ./internal) must carry a package
+// comment in at least one of its non-test files. CI runs it next to the
+// godoc examples, so a new package cannot land undocumented.
+//
+// Usage:
+//
+//	doccheck [roots ...]
+//
+// Exits non-zero listing every package directory without a package
+// comment.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+
+	// Collect non-test Go files per directory (deduplicated, so
+	// overlapping roots are harmless).
+	pkgFiles := map[string][]string{}
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if path = filepath.Clean(path); seen[path] {
+				return nil
+			}
+			seen[path] = true
+			dir := filepath.Dir(path)
+			pkgFiles[dir] = append(pkgFiles[dir], path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var missing []string
+	for dir, files := range pkgFiles {
+		documented := false
+		for _, f := range files {
+			if hasPackageDoc(f) {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "doccheck: packages missing a package comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages documented\n", len(pkgFiles))
+}
+
+// hasPackageDoc reports whether the file attaches a doc comment to its
+// package clause.
+func hasPackageDoc(path string) bool {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil || f.Doc == nil {
+		return false
+	}
+	return strings.TrimSpace(f.Doc.Text()) != ""
+}

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	trainppg [-model small|big|both] [-scale 0.06] [-subjects 15] [-epochs 10] [-out dir] [-describe]
+//	trainppg [-model small|big|both] [-scale 0.06] [-subjects 15] [-epochs 10] [-out dir] [-resume] [-describe]
+//
+// With -resume, a network whose weight file already exists under -out is
+// loaded and re-evaluated instead of retrained, so an interrupted
+// both-model run redoes only the missing network.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 
 	"repro/internal/dalia"
@@ -29,6 +34,7 @@ func main() {
 	stride := flag.Int("stride", 2, "training window subsampling")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "output directory for weights (empty = don't save)")
+	resume := flag.Bool("resume", false, "skip models whose weight file already exists under -out")
 	describe := flag.Bool("describe", false, "print topology summaries and exit")
 	flag.Parse()
 
@@ -65,6 +71,14 @@ func main() {
 	log.Printf("train %d windows, validate %d", len(trainS), len(valS))
 
 	run := func(name string, build func() *tcn.Network) {
+		if *resume && *out != "" {
+			path := filepath.Join(*out, name+".tcnw")
+			if net, err := tcn.Load(path); err == nil {
+				log.Printf("%s: resumed from %s (train MAE %.2f BPM, val MAE %.2f BPM)",
+					name, path, tcn.Evaluate(net, trainS), tcn.Evaluate(net, valS))
+				return
+			}
+		}
 		net := build()
 		net.InitWeights(*seed + 7)
 		tc := tcn.DefaultTrainConfig()
@@ -79,6 +93,9 @@ func main() {
 		log.Printf("%s: train MAE %.2f BPM, val MAE %.2f BPM",
 			name, tcn.Evaluate(net, trainS), tcn.Evaluate(net, valS))
 		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
 			path := filepath.Join(*out, name+".tcnw")
 			if err := tcn.Save(net, path); err != nil {
 				log.Fatal(err)

@@ -44,7 +44,7 @@ func AblationDispatch(s *Suite) Artifact {
 }
 
 func oracleRecords(recs []core.WindowRecord) []core.WindowRecord {
-	out := append([]core.WindowRecord(nil), recs...)
+	out := core.CloneRecords(recs)
 	for i := range out {
 		out[i].Difficulty = out[i].Activity.DifficultyID()
 	}
@@ -53,7 +53,7 @@ func oracleRecords(recs []core.WindowRecord) []core.WindowRecord {
 
 func randomRecords(recs []core.WindowRecord) []core.WindowRecord {
 	rng := rand.New(rand.NewSource(99))
-	out := append([]core.WindowRecord(nil), recs...)
+	out := core.CloneRecords(recs)
 	for i := range out {
 		out[i].Difficulty = 1 + rng.Intn(9)
 	}

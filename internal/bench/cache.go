@@ -6,33 +6,69 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/dalia"
+	"repro/internal/reccache"
 )
 
-// Records are cached with encoding/gob so that repeated harness runs skip
-// the expensive inference pass over every window. The cache key (embedded
-// in the file name by the caller) covers dataset, split and model
-// configuration; a length check guards against stale files. The on-disk
-// form opens with a magic + format-version header — gob decodes by field
-// name, so a cache written by an older layout could otherwise decode
-// "successfully" into garbage — followed by the shared prediction header
-// once plus flat columns, so the file carries no per-record map or header
-// duplication. A bad magic or version is an error; callers treat any load
-// error as a miss and rebuild.
+// Records are cached in the columnar format of internal/reccache so that
+// repeated harness runs skip the expensive inference pass over every
+// window. The cache key (embedded in the file name by the caller) covers
+// dataset, split and model configuration; the header's record count guards
+// against stale files — and, unlike the gob cache this replaced, the check
+// runs before a single column byte is read. Callers treat any load error
+// as a miss and rebuild.
 
-// recordCacheMagic identifies a CHRIS record cache; recordCacheVersion is
-// bumped whenever recordFile (or the semantics of its fields) changes, so
-// stale caches are detected and rebuilt instead of silently mis-decoded.
+// saveRecords writes recs as a finalized columnar record file in one
+// segment. Incremental runs go through reccache.Writer directly (see
+// obtainRecords); this is the convenience form for already-materialized
+// slices.
+func saveRecords(path string, recs []core.WindowRecord) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("bench: no records to cache")
+	}
+	if recs[0].Header == nil {
+		return fmt.Errorf("bench: records lack a prediction header")
+	}
+	w, err := reccache.Create(path, recs[0].Header.Names(), len(recs))
+	if err != nil {
+		return err
+	}
+	if err := w.WriteSegment(0, recs); err != nil {
+		w.Close()
+		os.Remove(reccache.PartialPath(path))
+		return err
+	}
+	return w.Finalize()
+}
+
+// loadRecords opens a columnar cache and loads its records. Staleness
+// (wrong record count for the requested window set) is detected from the
+// header alone, before any column is read; a truncated file is rejected
+// by reccache.Open the same way.
+func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
+	r, err := reccache.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if r.Count() != wantLen {
+		return nil, fmt.Errorf("bench: stale record cache %s (%d records, want %d)", path, r.Count(), wantLen)
+	}
+	return r.Records()
+}
+
+// Legacy gob cache (PR 2's "CHRR" format), kept only so existing cache
+// directories migrate in place; nothing writes it anymore.
 const (
-	recordCacheMagic   = "CHRR"
-	recordCacheVersion = uint32(2)
+	legacyGobMagic   = "CHRR"
+	legacyGobVersion = uint32(2)
 )
 
-// recordFile is the serialized form of a record slice.
-type recordFile struct {
+// legacyRecordFile is the serialized form the gob cache used (gob matches
+// by field name, so the local type name is irrelevant).
+type legacyRecordFile struct {
 	Names      []string
 	TrueHR     []float64
 	Activity   []dalia.Activity
@@ -40,76 +76,60 @@ type recordFile struct {
 	Preds      []float64 // len(Names) per record, record-major
 }
 
-func saveRecords(path string, recs []core.WindowRecord) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	var rf recordFile
-	if len(recs) > 0 {
-		if recs[0].Header == nil {
-			return fmt.Errorf("bench: records lack a prediction header")
-		}
-		rf.Names = recs[0].Header.Names()
-	}
-	m := len(rf.Names)
-	rf.TrueHR = make([]float64, len(recs))
-	rf.Activity = make([]dalia.Activity, len(recs))
-	rf.Difficulty = make([]int, len(recs))
-	rf.Preds = make([]float64, 0, len(recs)*m)
-	for i := range recs {
-		if len(recs[i].Preds) != m {
-			return fmt.Errorf("bench: record %d has %d predictions, want %d", i, len(recs[i].Preds), m)
-		}
-		rf.TrueHR[i] = recs[i].TrueHR
-		rf.Activity[i] = recs[i].Activity
-		rf.Difficulty[i] = recs[i].Difficulty
-		rf.Preds = append(rf.Preds, recs[i].Preds...)
-	}
-	f, err := os.Create(path)
+// migrateGobRecords converts a legacy gob cache into the columnar format
+// and removes the gob file, returning the migrated records so the caller
+// need not re-read the file it just wrote — a one-shot migration. An
+// undecodable or stale gob (record count != wantLen) is deleted without
+// the columnar write (it would have been treated as a miss and rebuilt
+// anyway), but a failed columnar save keeps it in place so the records
+// survive for a later attempt.
+func migrateGobRecords(gobPath, colPath string, wantLen int) ([]core.WindowRecord, error) {
+	recs, err := loadLegacyGobRecords(gobPath)
 	if err != nil {
-		return err
+		os.Remove(gobPath)
+		return nil, err
 	}
-	defer f.Close()
-	if _, err := f.WriteString(recordCacheMagic); err != nil {
-		return err
+	if len(recs) != wantLen {
+		os.Remove(gobPath)
+		return nil, fmt.Errorf("bench: stale legacy record cache %s (%d records, want %d)", gobPath, len(recs), wantLen)
 	}
-	if err := binary.Write(f, binary.LittleEndian, recordCacheVersion); err != nil {
-		return err
+	if err := saveRecords(colPath, recs); err != nil {
+		return nil, err
 	}
-	return gob.NewEncoder(f).Encode(rf)
+	if err := os.Remove(gobPath); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
-func loadRecords(path string, wantLen int) ([]core.WindowRecord, error) {
+func loadLegacyGobRecords(path string) ([]core.WindowRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	magic := make([]byte, len(recordCacheMagic))
+	magic := make([]byte, len(legacyGobMagic))
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, fmt.Errorf("bench: record cache %s: %w", path, err)
+		return nil, fmt.Errorf("bench: legacy record cache %s: %w", path, err)
 	}
-	if string(magic) != recordCacheMagic {
-		return nil, fmt.Errorf("bench: %s is not a record cache (or predates the versioned format)", path)
+	if string(magic) != legacyGobMagic {
+		return nil, fmt.Errorf("bench: %s is not a legacy gob record cache", path)
 	}
 	var version uint32
 	if err := binary.Read(f, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("bench: record cache %s: %w", path, err)
+		return nil, fmt.Errorf("bench: legacy record cache %s: %w", path, err)
 	}
-	if version != recordCacheVersion {
-		return nil, fmt.Errorf("bench: record cache %s has format version %d, want %d", path, version, recordCacheVersion)
+	if version != legacyGobVersion {
+		return nil, fmt.Errorf("bench: legacy record cache %s has version %d, want %d", path, version, legacyGobVersion)
 	}
-	var rf recordFile
+	var rf legacyRecordFile
 	if err := gob.NewDecoder(f).Decode(&rf); err != nil {
 		return nil, err
 	}
 	n := len(rf.TrueHR)
-	if n != wantLen {
-		return nil, fmt.Errorf("bench: stale record cache %s (%d records, want %d)", path, n, wantLen)
-	}
 	m := len(rf.Names)
 	if len(rf.Activity) != n || len(rf.Difficulty) != n || len(rf.Preds) != n*m {
-		return nil, fmt.Errorf("bench: corrupt record cache %s", path)
+		return nil, fmt.Errorf("bench: corrupt legacy record cache %s", path)
 	}
 	header := core.NewRecordHeader(rf.Names...)
 	recs := make([]core.WindowRecord, n)

@@ -1,8 +1,7 @@
 package bench
 
 import (
-	"encoding/binary"
-	"encoding/gob"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dalia"
+	"repro/internal/reccache"
 )
 
 func sampleRecords(n int) []core.WindowRecord {
@@ -27,9 +27,27 @@ func sampleRecords(n int) []core.WindowRecord {
 	return recs
 }
 
-func TestRecordCacheVersionedRoundTrip(t *testing.T) {
+func recordsEqual(t *testing.T, got, want []core.WindowRecord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TrueHR != want[i].TrueHR || got[i].Activity != want[i].Activity ||
+			got[i].Difficulty != want[i].Difficulty {
+			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Preds {
+			if got[i].Preds[j] != want[i].Preds[j] {
+				t.Fatalf("record %d pred %d: %v vs %v", i, j, got[i].Preds[j], want[i].Preds[j])
+			}
+		}
+	}
+}
+
+func TestRecordCacheRoundTrip(t *testing.T) {
 	recs := sampleRecords(7)
-	path := filepath.Join(t.TempDir(), "records.gob")
+	path := filepath.Join(t.TempDir(), "records.chrc")
 	if err := saveRecords(path, recs); err != nil {
 		t.Fatal(err)
 	}
@@ -37,43 +55,53 @@ func TestRecordCacheVersionedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range recs {
-		if got[i].TrueHR != recs[i].TrueHR || got[i].Activity != recs[i].Activity ||
-			got[i].Difficulty != recs[i].Difficulty {
-			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, got[i], recs[i])
-		}
-		for j := range recs[i].Preds {
-			if got[i].Preds[j] != recs[i].Preds[j] {
-				t.Fatalf("record %d pred %d: %v vs %v", i, j, got[i].Preds[j], recs[i].Preds[j])
-			}
-		}
+	recordsEqual(t, got, recs)
+}
+
+// TestRecordCacheStaleCountBeforeDecode: the stale-count check must come
+// from the header alone. The gob cache this replaced could only report a
+// count mismatch after decoding every record; here the wrong-length load
+// fails identically on an intact and on a column-corrupted file — proof
+// the columns were never consulted.
+func TestRecordCacheStaleCountBeforeDecode(t *testing.T) {
+	recs := sampleRecords(9)
+	path := filepath.Join(t.TempDir(), "records.chrc")
+	if err := saveRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadRecords(path, len(recs)+3)
+	if err == nil || !strings.Contains(err.Error(), "stale record cache") {
+		t.Fatalf("stale cache not detected: %v", err)
+	}
+
+	// Corrupt every byte past the tables; the stale error must not change.
+	data, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	r, openErr := reccache.Open(path)
+	if openErr != nil {
+		t.Fatal(openErr)
+	}
+	r.Close()
+	for i := 256; i < len(data); i++ { // past header + tables for 2 models
+		data[i] ^= 0xFF
+	}
+	if writeErr := os.WriteFile(path, data, 0o644); writeErr != nil {
+		t.Fatal(writeErr)
+	}
+	_, err2 := loadRecords(path, len(recs)+3)
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("stale check touched column data: %v vs %v", err2, err)
 	}
 }
 
-// TestRecordCacheRejectsUnversionedFile covers the exact failure the header
-// exists for: a cache written by the pre-versioning format (a bare gob
-// stream) must be reported as stale, not mis-decoded.
-func TestRecordCacheRejectsUnversionedFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "old.gob")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The old layout: gob of recordFile with no magic/version prefix.
-	if err := gob.NewEncoder(f).Encode(recordFile{Names: []string{"a"}, TrueHR: []float64{70}}); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	if _, err := loadRecords(path, 1); err == nil {
-		t.Fatal("unversioned cache accepted")
-	} else if !strings.Contains(err.Error(), "not a record cache") {
-		t.Fatalf("unexpected error for unversioned cache: %v", err)
-	}
-}
-
-func TestRecordCacheRejectsWrongVersion(t *testing.T) {
-	recs := sampleRecords(3)
-	path := filepath.Join(t.TempDir(), "records.gob")
+// TestRecordCacheRejectsTruncatedFile is the regression test for the
+// columnar header's pre-decode validation: a cache cut off mid-column is
+// rejected at open time.
+func TestRecordCacheRejectsTruncatedFile(t *testing.T) {
+	recs := sampleRecords(32)
+	path := filepath.Join(t.TempDir(), "records.chrc")
 	if err := saveRecords(path, recs); err != nil {
 		t.Fatal(err)
 	}
@@ -81,23 +109,137 @@ func TestRecordCacheRejectsWrongVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	binary.LittleEndian.PutUint32(data[len(recordCacheMagic):], recordCacheVersion+1)
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data[:len(data)-8], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loadRecords(path, len(recs)); err == nil {
-		t.Fatal("future-version cache accepted")
-	} else if !strings.Contains(err.Error(), "format version") {
-		t.Fatalf("unexpected error for version mismatch: %v", err)
+		t.Fatal("truncated cache accepted")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unexpected truncation error: %v", err)
 	}
-}
-
-func TestRecordCacheRejectsTruncatedHeader(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "tiny.gob")
+	// And the historical failure mode: a tiny fragment.
 	if err := os.WriteFile(path, []byte("CH"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadRecords(path, 1); err == nil {
-		t.Fatal("truncated cache accepted")
+	if _, err := loadRecords(path, len(recs)); err == nil {
+		t.Fatal("fragment accepted")
+	}
+}
+
+func TestRecordCacheRejectsForeignFile(t *testing.T) {
+	// A legacy gob stream is not a columnar cache and must read as a miss.
+	path := filepath.Join(t.TempDir(), "old.gob")
+	recs := sampleRecords(3)
+	if err := seedGobSaveRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRecords(path, len(recs)); err == nil {
+		t.Fatal("legacy gob cache accepted by the columnar loader")
+	}
+}
+
+func TestMigrateGobRecords(t *testing.T) {
+	recs := sampleRecords(11)
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "records.gob")
+	colPath := filepath.Join(dir, "records.chrc")
+
+	// seedGobSaveRecords (kernels.go) reproduces the legacy format
+	// exactly as PR 2 wrote it.
+	if err := seedGobSaveRecords(gobPath, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale gob (wrong record count) must be dropped without producing
+	// a columnar file.
+	if _, err := migrateGobRecords(gobPath, colPath, len(recs)+1); err == nil {
+		t.Fatal("stale gob migrated")
+	}
+	if _, err := os.Stat(colPath); !os.IsNotExist(err) {
+		t.Fatal("stale gob produced a columnar file")
+	}
+	if _, err := os.Stat(gobPath); !os.IsNotExist(err) {
+		t.Fatal("stale gob survived migration")
+	}
+
+	// Rewrite it and migrate for real.
+	if err := seedGobSaveRecords(gobPath, recs); err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := migrateGobRecords(gobPath, colPath, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, migrated, recs)
+	if _, err := os.Stat(gobPath); !os.IsNotExist(err) {
+		t.Fatal("gob file survived migration")
+	}
+	got, err := loadRecords(colPath, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, got, recs)
+}
+
+// TestSuiteRecordResumeByteIdentical kills a record build mid-suite (the
+// writer checkpointed at k < N records), reruns obtainRecords with Resume
+// set, and asserts the completed cache is byte-identical to the one an
+// uninterrupted run writes — the resume acceptance criterion of the
+// columnar cache.
+func TestSuiteRecordResumeByteIdentical(t *testing.T) {
+	s := getQuickSuite(t)
+	ws := s.TestWindows
+	names := make([]string, 0, 3)
+	for _, m := range s.Zoo.Models() {
+		names = append(names, m.Name())
+	}
+
+	// Uninterrupted run.
+	fullSuite := *s
+	fullSuite.Cfg.CacheDir = t.TempDir()
+	fullRecs, err := fullSuite.obtainRecords("test", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPath := filepath.Join(fullSuite.Cfg.CacheDir, "records_test_"+fullSuite.Cfg.key()+".chrc")
+	fullBytes, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: a writer that checkpointed k records and died.
+	resSuite := *s
+	resSuite.Cfg.CacheDir = t.TempDir()
+	resSuite.Cfg.Resume = true
+	resPath := filepath.Join(resSuite.Cfg.CacheDir, "records_test_"+resSuite.Cfg.key()+".chrc")
+	k := len(ws) / 3
+	if k == 0 {
+		t.Fatalf("quick suite has only %d test windows", len(ws))
+	}
+	w, err := reccache.Create(resPath, names, len(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(0, fullRecs[:k]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // checkpoint + abandon, as a kill would
+		t.Fatal(err)
+	}
+
+	resRecs, err := resSuite.obtainRecords("test", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, resRecs, fullRecs)
+	resBytes, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullBytes, resBytes) {
+		t.Fatal("resumed cache differs byte-for-byte from uninterrupted run")
+	}
+	if _, err := os.Stat(reccache.PartialPath(resPath)); !os.IsNotExist(err) {
+		t.Fatal("partial file left behind after finalize")
 	}
 }

@@ -1,15 +1,22 @@
 package bench
 
 import (
+	"encoding/binary"
+	"encoding/gob"
 	"math"
 	"math/bits"
 	"math/cmplx"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dalia"
 	"repro/internal/dsp"
 	"repro/internal/gemm"
 	"repro/internal/models/tcn"
+	"repro/internal/reccache"
 )
 
 // KernelResult is one measured hot-path kernel, in the shape BENCH_*.json
@@ -114,7 +121,7 @@ func KernelBenchmarks() []KernelResult {
 		sb[i] = int8(rng.Intn(255) - 127)
 	}
 
-	return []KernelResult{
+	results := []KernelResult{
 		runKernel("RealFFT256/plan", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -193,6 +200,172 @@ func KernelBenchmarks() []KernelResult {
 			}
 		}),
 	}
+	return append(results, cacheKernels()...)
+}
+
+// cacheRecordCount sizes the record-cache kernels: large enough that the
+// gob baseline's full-decode cost is visible, small enough to keep the
+// benchmark I/O trivial (~130 KiB per file).
+const cacheRecordCount = 4096
+
+// cacheKernels measures the columnar record cache against the gob format
+// it replaced: bulk encode, bulk decode, streaming iteration, and —
+// the number the format exists for — decode-to-first-record latency,
+// where gob must decode the whole stream before the first record is
+// usable while the columnar reader touches one header and one block.
+func cacheKernels() []KernelResult {
+	recs := cacheSampleRecords(cacheRecordCount)
+	dir, err := os.MkdirTemp("", "chris-cache-kernels-*")
+	if err != nil {
+		panic("bench: cache kernel temp dir: " + err.Error())
+	}
+	defer os.RemoveAll(dir)
+
+	colPath := filepath.Join(dir, "records.chrc")
+	if err := saveRecords(colPath, recs); err != nil {
+		panic("bench: cache kernel columnar seed: " + err.Error())
+	}
+	gobPath := filepath.Join(dir, "records.gob")
+	if err := seedGobSaveRecords(gobPath, recs); err != nil {
+		panic("bench: cache kernel gob seed: " + err.Error())
+	}
+	encPath := filepath.Join(dir, "encode.tmp")
+
+	return []KernelResult{
+		runKernelScaled("CacheEncode4096x3/columnar", cacheRecordCount, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := saveRecords(encPath, recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runKernelScaled("CacheEncode4096x3/gobseed", cacheRecordCount, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := seedGobSaveRecords(encPath, recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runKernelScaled("CacheDecode4096x3/columnar", cacheRecordCount, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := loadRecords(colPath, cacheRecordCount); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runKernelScaled("CacheDecode4096x3/gobseed", cacheRecordCount, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := loadLegacyGobRecords(gobPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		// Decode-to-first-record latency, unscaled: open the cache and
+		// obtain one usable record.
+		runKernel("CacheFirstRecord/columnar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := reccache.Open(colPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := false
+				err = r.Iter(func(_ int, rec *core.WindowRecord) bool {
+					got = rec.TrueHR > 0
+					return false
+				})
+				r.Close()
+				if err != nil || !got {
+					b.Fatal("no first record")
+				}
+			}
+		}),
+		runKernel("CacheFirstRecord/gobseed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs, err := loadLegacyGobRecords(gobPath)
+				if err != nil || rs[0].TrueHR <= 0 {
+					b.Fatal("no first record")
+				}
+			}
+		}),
+		runKernelScaled("CacheIterate4096x3/columnar", cacheRecordCount, func(b *testing.B) {
+			r, err := reccache.Open(colPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				if err := r.Iter(func(_ int, rec *core.WindowRecord) bool {
+					sum += rec.Preds[0]
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if sum == 0 {
+					b.Fatal("empty iteration")
+				}
+			}
+		}),
+	}
+}
+
+func cacheSampleRecords(n int) []core.WindowRecord {
+	header := core.NewRecordHeader("AT", "TimePPG-Small", "TimePPG-Big")
+	rng := rand.New(rand.NewSource(42))
+	flat := make([]float64, n*3)
+	recs := make([]core.WindowRecord, n)
+	for i := range recs {
+		for j := 0; j < 3; j++ {
+			flat[i*3+j] = 60 + 120*rng.Float64()
+		}
+		recs[i] = core.WindowRecord{
+			TrueHR:     60 + 120*rng.Float64(),
+			Activity:   dalia.Activity(rng.Intn(dalia.NumActivities)),
+			Difficulty: 1 + rng.Intn(9),
+			Header:     header,
+			Preds:      flat[i*3 : (i+1)*3 : (i+1)*3],
+		}
+	}
+	return recs
+}
+
+// seedGobSaveRecords reproduces the gob record cache the columnar format
+// replaced (PR 2's saveRecords): magic + version, then one gob stream of
+// header names and flat columns.
+func seedGobSaveRecords(path string, recs []core.WindowRecord) error {
+	var rf legacyRecordFile
+	rf.Names = recs[0].Header.Names()
+	m := len(rf.Names)
+	rf.TrueHR = make([]float64, len(recs))
+	rf.Activity = make([]dalia.Activity, len(recs))
+	rf.Difficulty = make([]int, len(recs))
+	rf.Preds = make([]float64, 0, len(recs)*m)
+	for i := range recs {
+		rf.TrueHR[i] = recs[i].TrueHR
+		rf.Activity[i] = recs[i].Activity
+		rf.Difficulty[i] = recs[i].Difficulty
+		rf.Preds = append(rf.Preds, recs[i].Preds...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString(legacyGobMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(f, binary.LittleEndian, legacyGobVersion); err != nil {
+		return err
+	}
+	return gob.NewEncoder(f).Encode(rf)
 }
 
 // seedPowerSpectrum reproduces the pre-plan spectral path: a full complex

@@ -1,8 +1,3 @@
-// Package bench is the experiment harness: it assembles the full pipeline
-// (synthetic dataset → trained models → difficulty detector → configuration
-// profiling) once, then regenerates every table and figure of the paper's
-// evaluation from that state. cmd/chrisbench prints all artifacts; the
-// repository-root benchmarks expose one testing.B target per artifact.
 package bench
 
 import (
@@ -18,6 +13,7 @@ import (
 	"repro/internal/models/at"
 	"repro/internal/models/rf"
 	"repro/internal/models/tcn"
+	"repro/internal/reccache"
 )
 
 // SuiteConfig sizes the experiment pipeline.
@@ -47,6 +43,13 @@ type SuiteConfig struct {
 	// records) keyed by the configuration, so repeated harness runs skip
 	// training. Missing directory entries are (re)built.
 	CacheDir string
+	// Resume continues an interrupted record build from the partial
+	// columnar cache's checkpoint instead of starting over — only the
+	// windows past the checkpoint are re-inferred, and (because every zoo
+	// model computes windows independently) the completed cache is
+	// byte-identical to an uninterrupted run's. Ignored when the zoo
+	// contains sequential models or no usable partial file exists.
+	Resume bool
 	// Progress, when non-nil, receives status lines.
 	Progress func(format string, args ...interface{})
 }
@@ -270,27 +273,91 @@ func (s *Suite) obtainNet(name string, build func() *tcn.Network, samples []tcn.
 	return net, nil
 }
 
-// obtainRecords loads cached records or builds and caches them.
+// checkpointSink streams finished record segments into a columnar writer
+// and checkpoints the contiguous prefix after each one, so a killed run
+// loses at most the chunks still in flight.
+type checkpointSink struct{ w *reccache.Writer }
+
+func (s checkpointSink) WriteSegment(start int, recs []core.WindowRecord) error {
+	if err := s.w.WriteSegment(start, recs); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// obtainRecords loads cached records or builds and caches them. Builds
+// stream through a columnar reccache.Writer: workers persist each chunk
+// as it completes, and with cfg.Resume a rerun picks up from the last
+// checkpoint of an interrupted build instead of starting over.
 func (s *Suite) obtainRecords(split string, ws []dalia.Window) ([]core.WindowRecord, error) {
 	cfg := s.Cfg
-	var path string
-	if cfg.CacheDir != "" {
-		path = filepath.Join(cfg.CacheDir, fmt.Sprintf("records_%s_%s.gob", split, cfg.key()))
-		if recs, err := loadRecords(path, len(ws)); err == nil {
-			cfg.logf("loaded cached %s records from %s", split, path)
+	zoo := s.Zoo.Models()
+	if cfg.CacheDir == "" {
+		return eval.BuildRecords(ws, zoo, s.Classifier)
+	}
+	path := filepath.Join(cfg.CacheDir, fmt.Sprintf("records_%s_%s.chrc", split, cfg.key()))
+
+	// One-shot migration of a cache left behind by the old gob format;
+	// the decoded records serve this run directly.
+	gobPath := filepath.Join(cfg.CacheDir, fmt.Sprintf("records_%s_%s.gob", split, cfg.key()))
+	if _, err := os.Stat(gobPath); err == nil {
+		if recs, err := migrateGobRecords(gobPath, path, len(ws)); err == nil {
+			cfg.logf("migrated legacy gob cache to %s", path)
 			return recs, nil
 		}
 	}
-	recs, err := eval.BuildRecords(ws, s.Zoo.Models(), s.Classifier)
-	if err != nil {
-		return nil, err
+
+	if recs, err := loadRecords(path, len(ws)); err == nil {
+		cfg.logf("loaded cached %s records from %s", split, path)
+		return recs, nil
 	}
-	if path != "" {
-		if err := saveRecords(path, recs); err != nil {
+
+	names := make([]string, len(zoo))
+	for i, m := range zoo {
+		names[i] = m.Name()
+	}
+	var w *reccache.Writer
+	var prefix []core.WindowRecord
+	start := 0
+	if cfg.Resume && eval.AllCloneable(zoo) {
+		if rw, err := reccache.Resume(path, names, len(ws)); err == nil {
+			if k := rw.Count(); k > 0 {
+				pr, err := reccache.Open(reccache.PartialPath(path))
+				if err == nil {
+					prefix, err = pr.Records()
+					pr.Close()
+				}
+				if err == nil {
+					w, start = rw, k
+					cfg.logf("resuming %s records at %d/%d", split, start, len(ws))
+				} else {
+					rw.Close() // unreadable checkpoint: rebuild from scratch
+				}
+			} else {
+				w = rw // empty partial, reuse as a fresh writer
+			}
+		}
+	}
+	if w == nil {
+		var err error
+		prefix, start = nil, 0
+		if w, err = reccache.Create(path, names, len(ws)); err != nil {
 			return nil, err
 		}
 	}
-	return recs, nil
+
+	recs, err := eval.BuildRecordsSink(ws, zoo, s.Classifier, checkpointSink{w}, start)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	if start == 0 {
+		return recs, nil
+	}
+	return append(prefix, recs...), nil
 }
 
 func strideWindows(ws []dalia.Window, k int) []dalia.Window {

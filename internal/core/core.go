@@ -1,14 +1,3 @@
-// Package core implements CHRIS, the Collaborative Heart Rate Inference
-// System of the paper: a smartwatch runtime that, for every analysis
-// window, selects one of two heart-rate models and an execution target
-// (watch or phone) so as to meet a user constraint on error or energy.
-//
-// The package provides the Models Zoo, the enumeration and offline
-// profiling of the 60 operating configurations (§III-A), the Pareto
-// analysis of the MAE/energy plane (§IV-B), and the two-stage Decision
-// Engine (§III-B): constraint-dependent configuration selection followed
-// by input-dependent model selection driven by the Random-Forest
-// difficulty detector.
 package core
 
 import (

@@ -11,70 +11,6 @@ import (
 	"repro/internal/hw/power"
 )
 
-// RecordHeader maps zoo model names to positions in the dense per-record
-// prediction vector. One header is shared by every record of a profiling
-// run, so the per-record payload is a plain []float64 — the map-per-window
-// layout it replaces allocated per record and forced a hash lookup into
-// the innermost profiling loop.
-type RecordHeader struct {
-	names []string
-	index map[string]int
-}
-
-// NewRecordHeader builds a header for the given model names in zoo order.
-func NewRecordHeader(names ...string) *RecordHeader {
-	h := &RecordHeader{
-		names: append([]string(nil), names...),
-		index: make(map[string]int, len(names)),
-	}
-	for i, n := range h.names {
-		h.index[n] = i
-	}
-	return h
-}
-
-// Index returns the dense position of a model's predictions.
-func (h *RecordHeader) Index(name string) (int, bool) {
-	i, ok := h.index[name]
-	return i, ok
-}
-
-// Names returns the model names in dense order; callers must not mutate
-// the returned slice.
-func (h *RecordHeader) Names() []string { return h.names }
-
-// Len returns the number of models the header covers.
-func (h *RecordHeader) Len() int { return len(h.names) }
-
-// WindowRecord is the per-window information the offline profiler needs:
-// ground truth, the difficulty detector's (possibly wrong) output, and
-// every zoo model's prediction. Materializing records once makes profiling
-// all 60 configurations an O(windows) aggregation per configuration
-// instead of re-running inference 60 times — and the one inference pass
-// that fills them (eval.BuildRecords) runs the zoo's batched estimators,
-// so the records are cheap to (re)build as well as to aggregate.
-// Predictions are stored densely (Preds[i] belongs to Header.Names()[i]);
-// Header is shared across the records of one run.
-type WindowRecord struct {
-	TrueHR     float64
-	Activity   dalia.Activity
-	Difficulty int // RF-predicted difficulty ID (1..9)
-	Header     *RecordHeader
-	Preds      []float64
-}
-
-// Pred returns the named model's prediction for this window.
-func (r *WindowRecord) Pred(model string) (float64, bool) {
-	if r.Header == nil {
-		return 0, false
-	}
-	i, ok := r.Header.Index(model)
-	if !ok || i >= len(r.Preds) {
-		return 0, false
-	}
-	return r.Preds[i], true
-}
-
 // Profile is a configuration together with its measured characteristics —
 // the row format stored in the smartwatch MCU (paper Table II).
 type Profile struct {

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dalia"
+)
+
+// This file defines the per-window record — the unit of data the offline
+// profiler aggregates — together with the constants of its on-disk
+// columnar form. The layout itself (header, column table, flat columns) is
+// implemented by internal/reccache; core owns the vocabulary so that the
+// record struct and its serialized shape evolve together.
+
+// RecordHeader maps zoo model names to positions in the dense per-record
+// prediction vector. One header is shared by every record of a profiling
+// run, so the per-record payload is a plain []float64 — the map-per-window
+// layout it replaces allocated per record and forced a hash lookup into
+// the innermost profiling loop.
+type RecordHeader struct {
+	names []string
+	index map[string]int
+}
+
+// NewRecordHeader builds a header for the given model names in zoo order.
+func NewRecordHeader(names ...string) *RecordHeader {
+	h := &RecordHeader{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range h.names {
+		h.index[n] = i
+	}
+	return h
+}
+
+// Index returns the dense position of a model's predictions.
+func (h *RecordHeader) Index(name string) (int, bool) {
+	i, ok := h.index[name]
+	return i, ok
+}
+
+// Names returns the model names in dense order; callers must not mutate
+// the returned slice.
+func (h *RecordHeader) Names() []string { return h.names }
+
+// Len returns the number of models the header covers.
+func (h *RecordHeader) Len() int { return len(h.names) }
+
+// WindowRecord is the per-window information the offline profiler needs:
+// ground truth, the difficulty detector's (possibly wrong) output, and
+// every zoo model's prediction. Materializing records once makes profiling
+// all 60 configurations an O(windows) aggregation per configuration
+// instead of re-running inference 60 times — and the one inference pass
+// that fills them (eval.BuildRecords) runs the zoo's batched estimators,
+// so the records are cheap to (re)build as well as to aggregate.
+// Predictions are stored densely (Preds[i] belongs to Header.Names()[i]);
+// Header is shared across the records of one run.
+type WindowRecord struct {
+	TrueHR     float64
+	Activity   dalia.Activity
+	Difficulty int // RF-predicted difficulty ID (1..9)
+	Header     *RecordHeader
+	Preds      []float64
+}
+
+// Pred returns the named model's prediction for this window.
+func (r *WindowRecord) Pred(model string) (float64, bool) {
+	if r.Header == nil {
+		return 0, false
+	}
+	i, ok := r.Header.Index(model)
+	if !ok || i >= len(r.Preds) {
+		return 0, false
+	}
+	return r.Preds[i], true
+}
+
+// CloneRecords returns a shallow copy of a record slice whose per-record
+// fields may be mutated freely; Header and Preds remain shared with the
+// originals (ablations that rewrite Difficulty use this — prediction
+// columns are immutable once built).
+func CloneRecords(recs []WindowRecord) []WindowRecord {
+	return append([]WindowRecord(nil), recs...)
+}
+
+// On-disk columnar record layout (implemented by internal/reccache).
+//
+// A record file is a fixed-stride column store: after a small header and
+// column table, each WindowRecord field occupies its own flat
+// little-endian column region sized for the full run, so record i of
+// column c lives at offset(c) + i*stride(c) regardless of write order.
+const (
+	// RecordCacheMagic opens every columnar record-cache file.
+	RecordCacheMagic = "CHRC"
+	// RecordCacheVersion is bumped whenever the column set, dtypes or
+	// header fields change meaning, so stale caches are rebuilt instead
+	// of mis-decoded.
+	RecordCacheVersion = uint32(1)
+	// RecordNumColumns is the number of columns a record serializes to.
+	RecordNumColumns = 4
+)
+
+// RecordColumn identifies one column of the on-disk record layout.
+type RecordColumn uint32
+
+// Column identifiers, in on-disk region order.
+const (
+	RecordColTrueHR     RecordColumn = 1 // float64, ground-truth HR in BPM
+	RecordColActivity   RecordColumn = 2 // uint8, dalia.Activity ordinal
+	RecordColDifficulty RecordColumn = 3 // uint8, RF difficulty ID (1..9)
+	RecordColPreds      RecordColumn = 4 // float64 × models, record-major
+)
+
+// RecordDType is the element type of a column.
+type RecordDType uint32
+
+// Column element types.
+const (
+	RecordDTypeF64 RecordDType = 1 // 8-byte little-endian IEEE-754 double
+	RecordDTypeU8  RecordDType = 2 // single byte
+)
+
+// Size returns the element width in bytes.
+func (d RecordDType) Size() uint64 {
+	if d == RecordDTypeU8 {
+		return 1
+	}
+	return 8
+}
+
+// CheckCacheable verifies the record's enum fields fit the byte columns of
+// the cache layout (they always do for DaLiA activities and RF difficulty
+// IDs; the check turns a corrupted record into an error instead of a
+// silently truncated byte).
+func (r *WindowRecord) CheckCacheable() error {
+	if r.Activity < 0 || int(r.Activity) > 255 {
+		return fmt.Errorf("core: activity %d does not fit the cache's byte column", r.Activity)
+	}
+	if r.Difficulty < 0 || r.Difficulty > 255 {
+		return fmt.Errorf("core: difficulty %d does not fit the cache's byte column", r.Difficulty)
+	}
+	return nil
+}

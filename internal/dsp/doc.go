@@ -11,4 +11,15 @@
 // FFT). The package-level FFT/IFFT/RealFFT/PowerSpectrum functions remain
 // as thin wrappers over shared cached plans, so casual callers keep the
 // simple API while hot loops hold a Plan and reuse output buffers.
+//
+// Hot paths: the radix-2² butterfly passes behind Execute and the fused
+// square-magnitude loop in PowerSpectrumInto — every AT window estimate
+// and every spectral feature of the difficulty detector runs through
+// them. A Plan's tables are read-only after construction, so distinct
+// goroutines may share a Plan for Execute, Inverse and RealFFTInto;
+// PowerSpectrumInto reuses internal scratch and needs one Plan per
+// worker.
+//
+// BENCH kernels: RealFFT256/plan, PowerSpectrum256/plan and
+// PowerSpectrum256/seed (the pre-plan reference) in BENCH_*.json.
 package dsp

@@ -1,7 +1,3 @@
-// Package eval provides the evaluation substrate: per-window record
-// building for the CHRIS profiler, MAE metrics in the paper's
-// activity-balanced form, per-activity breakdowns and ASCII table
-// rendering for the experiment harness.
 package eval
 
 import (
@@ -14,6 +10,27 @@ import (
 	"repro/internal/models"
 	"repro/internal/models/rf"
 )
+
+// RecordSink receives contiguous segments of finished records as a record
+// build progresses; reccache.Writer is the intended implementation. start
+// is the absolute record index of recs[0]. Segments for disjoint ranges
+// may arrive concurrently and out of order.
+type RecordSink interface {
+	WriteSegment(start int, recs []core.WindowRecord) error
+}
+
+// AllCloneable reports whether every zoo model supports worker cloning —
+// the precondition for resuming a record build from an arbitrary window
+// index (a stateful tracker's output depends on having seen every prior
+// window, so a suffix-only rebuild would not be bitwise reproducible).
+func AllCloneable(zoo []models.HREstimator) bool {
+	for _, m := range zoo {
+		if _, ok := m.(models.WorkerCloner); !ok {
+			return false
+		}
+	}
+	return true
+}
 
 // BuildRecords runs every zoo model and the difficulty detector over the
 // windows once, producing the records the configuration profiler
@@ -33,6 +50,19 @@ import (
 // records are bitwise independent of both the worker count and the batch
 // boundaries.
 func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifier) ([]core.WindowRecord, error) {
+	return BuildRecordsSink(ws, zoo, cls, nil, 0)
+}
+
+// BuildRecordsSink is BuildRecords with persistence hooks for the
+// columnar record cache: windows before startAt are assumed already
+// persisted by an interrupted run (every model must then satisfy
+// AllCloneable, since only per-window-independent models can restart
+// mid-sequence bitwise-identically), and finished records stream into
+// sink as contiguous segments — each worker hands over its chunk the
+// moment every model has filled it, so a long build checkpoints as it
+// goes instead of in one final write. The returned slice covers
+// ws[startAt:]; sink segments use absolute window indices.
+func BuildRecordsSink(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifier, sink RecordSink, startAt int) ([]core.WindowRecord, error) {
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("eval: no windows")
 	}
@@ -42,39 +72,57 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 	if cls == nil {
 		return nil, fmt.Errorf("eval: nil classifier")
 	}
+	if startAt < 0 || startAt > len(ws) {
+		return nil, fmt.Errorf("eval: resume offset %d outside %d windows", startAt, len(ws))
+	}
+	allClone := AllCloneable(zoo)
+	if startAt > 0 && !allClone {
+		return nil, fmt.Errorf("eval: cannot resume at window %d: zoo has sequential models", startAt)
+	}
+	sub := ws[startAt:]
 	names := make([]string, len(zoo))
 	for i, m := range zoo {
 		names[i] = m.Name()
 	}
 	header := core.NewRecordHeader(names...)
 	// One flat backing array keeps the dense prediction rows contiguous.
-	flat := make([]float64, len(ws)*len(zoo))
-	recs := make([]core.WindowRecord, len(ws))
-	for i := range ws {
+	flat := make([]float64, len(sub)*len(zoo))
+	recs := make([]core.WindowRecord, len(sub))
+	for i := range sub {
 		recs[i] = core.WindowRecord{
-			TrueHR:   ws[i].TrueHR,
-			Activity: ws[i].Activity,
+			TrueHR:   sub[i].TrueHR,
+			Activity: sub[i].Activity,
 			Header:   header,
 			Preds:    flat[i*len(zoo) : (i+1)*len(zoo) : (i+1)*len(zoo)],
 		}
 	}
+	if len(sub) == 0 {
+		return recs, nil
+	}
+	// Workers may stream their chunks into the sink only when no serial
+	// model writes columns behind their backs.
+	streamSink := sink
+	if !allClone {
+		streamSink = nil
+	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ws) {
-		workers = len(ws)
+	if workers > len(sub) {
+		workers = len(sub)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	sinkErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * len(ws) / workers
-		hi := (w + 1) * len(ws) / workers
+		lo := w * len(sub) / workers
+		hi := (w + 1) * len(sub) / workers
 		if lo == hi {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			var batchOut []float64 // lazily sized scratch shared by batch models
 			for mi, m := range zoo {
@@ -87,21 +135,24 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 					if batchOut == nil {
 						batchOut = make([]float64, hi-lo)
 					}
-					be.EstimateHRBatch(ws[lo:hi], batchOut)
+					be.EstimateHRBatch(sub[lo:hi], batchOut)
 					for i := lo; i < hi; i++ {
 						recs[i].Preds[mi] = batchOut[i-lo]
 					}
 					continue
 				}
 				for i := lo; i < hi; i++ {
-					recs[i].Preds[mi] = est.EstimateHR(&ws[i])
+					recs[i].Preds[mi] = est.EstimateHR(&sub[i])
 				}
 			}
 			// The forest is read-only under Classify; chunk it too.
 			for i := lo; i < hi; i++ {
-				recs[i].Difficulty = cls.DifficultyID(&ws[i])
+				recs[i].Difficulty = cls.DifficultyID(&sub[i])
 			}
-		}(lo, hi)
+			if streamSink != nil {
+				sinkErrs[w] = streamSink.WriteSegment(startAt+lo, recs[lo:hi])
+			}
+		}(w, lo, hi)
 	}
 	// Stateful models keep their sequential window order; each writes its
 	// own dense column, so they still overlap with everything else. A batch
@@ -115,19 +166,31 @@ func BuildRecords(ws []dalia.Window, zoo []models.HREstimator, cls *rf.Classifie
 		go func(mi int, m models.HREstimator) {
 			defer wg.Done()
 			if be, ok := m.(models.BatchHREstimator); ok {
-				out := make([]float64, len(ws))
-				be.EstimateHRBatch(ws, out)
-				for i := range ws {
+				out := make([]float64, len(sub))
+				be.EstimateHRBatch(sub, out)
+				for i := range sub {
 					recs[i].Preds[mi] = out[i]
 				}
 				return
 			}
-			for i := range ws {
-				recs[i].Preds[mi] = m.EstimateHR(&ws[i])
+			for i := range sub {
+				recs[i].Preds[mi] = m.EstimateHR(&sub[i])
 			}
 		}(mi, m)
 	}
 	wg.Wait()
+	for _, err := range sinkErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// With serial models in the zoo a chunk is only complete once every
+	// column goroutine has finished, so the sink gets one final segment.
+	if sink != nil && streamSink == nil {
+		if err := sink.WriteSegment(startAt, recs); err != nil {
+			return nil, err
+		}
+	}
 	return recs, nil
 }
 

@@ -1,0 +1,37 @@
+// Package gemm provides the matrix-multiply micro-kernels the TCN batch
+// inference and training paths lower onto: a float32 kernel pair (plain
+// and B-transposed: F32, F32NT) and an int8 pair with int32 accumulators
+// (S8, S8NT), the CMSIS-NN-style shape the deployed quantized path uses.
+//
+// All kernels are accumulate-in-place: C must be pre-initialized by the
+// caller (bias rows, running gradients, or zeros) and each output element
+// is updated as one sequential chain
+//
+//	c = ((c + a·b₀) + a·b₁) + … + a·b_{k-1}
+//
+// with the k products added one at a time in ascending-k order. That
+// makes the float32 results bitwise identical to the scalar reference
+// loops the rest of the repository keeps (bias-seeded, ascending-tap
+// accumulation), so batched inference reproduces serial inference
+// exactly; the int8 kernels are exact integer arithmetic and
+// order-independent by construction.
+//
+// The kernels are blocked for locality (the unrolled column tile is
+// walked outermost, so the B panel it touches stays cache-resident across
+// all rows of A) and register-unrolled 8- then 4-wide over independent
+// output elements — never over the reduction dimension, which would
+// reassociate the float32 sums and break bitwise reproducibility.
+//
+// Hot paths: the four kernel inner loops are the single hottest code in
+// the repository — every Conv1D and Dense layer of both TCN topologies,
+// float32 and int8, serial-equivalent batch inference and training
+// backprop all funnel through them via im2col (internal/models/tcn). They
+// sit at the scalar FP ceiling (~1 MAC/cycle); SIMD/assembly is the
+// ROADMAP follow-on.
+//
+// BENCH kernels: GemmF32_48x144x128 and GemmS8_48x144x128 measure the raw
+// kernels at a representative TimePPG-Big convolution shape;
+// TimePPGBigForwardBatch32/win and QuantBigForwardBatch32/win measure
+// them through the full network against the serial references
+// (BENCH_*.json, written by chrisbench -json).
+package gemm

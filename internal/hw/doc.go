@@ -1,0 +1,17 @@
+// Package hw assembles the calibrated component models of the paper's
+// testbed — STM32WB55 smartwatch MCU, Raspberry Pi 3 phone proxy, BLE 5
+// link, PPG/IMU sensors, battery and converter — behind the cost queries
+// the CHRIS decision engine and the profiling pipeline consume
+// (WatchLocalEnergy, WatchOffloadEnergy, PhoneEnergy and their
+// active-only variants).
+//
+// The subpackages hold the per-component calibrations (hw/mcu, hw/phone,
+// hw/ble, hw/sensors, hw/power); this package wires them into one System
+// whose numbers reproduce Tables I-III. Energy queries are pure
+// arithmetic over a model's Ops()/Params() and the calibrated constants.
+//
+// Hot paths: none — every query is O(1) and the profiler calls them once
+// per configuration, not per window. No BENCH kernels; correctness is
+// pinned by the calibration tests (hw_test.go) and the Table I/III
+// headline metrics in BENCH_*.json.
+package hw

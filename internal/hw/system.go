@@ -1,7 +1,3 @@
-// Package hw assembles the calibrated component models of the paper's
-// testbed — STM32WB55 smartwatch MCU, Raspberry Pi 3 phone proxy, BLE 5
-// link, PPG/IMU sensors, battery and converter — behind the cost queries
-// the CHRIS decision engine and the profiling pipeline consume.
 package hw
 
 import (

@@ -1,0 +1,63 @@
+package reccache_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/reccache"
+)
+
+// ExampleReader_Iter streams records out of a columnar cache without
+// materializing the full slice — the access pattern million-window
+// profiling sweeps use. The yielded record's Preds slice is only valid
+// within the callback.
+func ExampleReader_Iter() {
+	dir, err := os.MkdirTemp("", "reccache-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "records.chrc")
+
+	header := core.NewRecordHeader("AT", "TimePPG-Big")
+	w, err := reccache.Create(path, header.Names(), 3)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		rec := core.WindowRecord{
+			TrueHR:     70 + float64(i),
+			Activity:   dalia.Activity(i),
+			Difficulty: 1 + i,
+			Header:     header,
+			Preds:      []float64{71 + float64(i), 69.5 + float64(i)},
+		}
+		if err := w.WriteSegment(i, []core.WindowRecord{rec}); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Finalize(); err != nil {
+		panic(err)
+	}
+
+	r, err := reccache.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer r.Close()
+	err = r.Iter(func(i int, rec *core.WindowRecord) bool {
+		at, _ := rec.Pred("AT")
+		fmt.Printf("record %d: true %.0f BPM, AT %.0f BPM\n", i, rec.TrueHR, at)
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// record 0: true 70 BPM, AT 71 BPM
+	// record 1: true 71 BPM, AT 72 BPM
+	// record 2: true 72 BPM, AT 73 BPM
+}

@@ -1,0 +1,218 @@
+package reccache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"repro/internal/core"
+)
+
+// The byte-for-byte file layout is documented in doc.go; this file holds
+// the arithmetic that maps (column, record index) to a file offset. All
+// offsets are computed, never stored incrementally, so a writer and a
+// reader built from the same (names, capacity) pair agree by construction.
+
+const (
+	headerSize  = 64
+	colDescSize = 24
+	// countFieldOff is the byte offset of the record-count field inside
+	// the header — the only field a checkpoint rewrites.
+	countFieldOff = 8
+)
+
+// column is one entry of the on-disk column table.
+type column struct {
+	id     core.RecordColumn
+	dtype  core.RecordDType
+	off    uint64 // file offset of the column region
+	stride uint64 // bytes per record
+}
+
+// layout is the fully resolved geometry of one record file.
+type layout struct {
+	capacity uint64
+	names    []string
+	cols     [core.RecordNumColumns]column
+	nameOff  uint64
+	nameLen  uint64
+	dataOff  uint64
+	fileSize uint64
+}
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+// makeLayout resolves the geometry for a run of capacity records over the
+// given model names.
+func makeLayout(names []string, capacity int) (layout, error) {
+	if capacity < 0 {
+		return layout{}, fmt.Errorf("reccache: negative capacity %d", capacity)
+	}
+	if len(names) == 0 {
+		return layout{}, fmt.Errorf("reccache: a record file needs at least one model column")
+	}
+	l := layout{
+		capacity: uint64(capacity),
+		names:    append([]string(nil), names...),
+		nameOff:  headerSize + core.RecordNumColumns*colDescSize,
+	}
+	for _, n := range names {
+		l.nameLen += 4 + uint64(len(n))
+	}
+	l.dataOff = align8(l.nameOff + l.nameLen)
+
+	off := l.dataOff
+	add := func(i int, id core.RecordColumn, dt core.RecordDType, stride uint64) {
+		l.cols[i] = column{id: id, dtype: dt, off: off, stride: stride}
+		off += stride * l.capacity
+	}
+	add(0, core.RecordColTrueHR, core.RecordDTypeF64, 8)
+	add(1, core.RecordColActivity, core.RecordDTypeU8, 1)
+	add(2, core.RecordColDifficulty, core.RecordDTypeU8, 1)
+	off = align8(off) // keep the Preds region 8-aligned for zero-copy reads
+	add(3, core.RecordColPreds, core.RecordDTypeF64, 8*uint64(len(names)))
+	l.fileSize = off + l.cols[3].stride*l.capacity
+	return l, nil
+}
+
+// metaBytes renders the header, column table and name table with the given
+// record count. Everything outside the count field is immutable for the
+// life of the file.
+func (l *layout) metaBytes(count uint64) []byte {
+	buf := make([]byte, l.dataOff)
+	copy(buf[0:4], core.RecordCacheMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[4:], core.RecordCacheVersion)
+	le.PutUint64(buf[countFieldOff:], count)
+	le.PutUint64(buf[16:], l.capacity)
+	le.PutUint32(buf[24:], uint32(len(l.names)))
+	le.PutUint32(buf[28:], core.RecordNumColumns)
+	le.PutUint64(buf[32:], l.nameOff)
+	le.PutUint64(buf[40:], l.nameLen)
+	le.PutUint64(buf[48:], l.dataOff)
+	// buf[56:64] reserved, zero.
+	p := headerSize
+	for _, c := range l.cols {
+		le.PutUint32(buf[p:], uint32(c.id))
+		le.PutUint32(buf[p+4:], uint32(c.dtype))
+		le.PutUint64(buf[p+8:], c.off)
+		le.PutUint64(buf[p+16:], c.stride)
+		p += colDescSize
+	}
+	p = int(l.nameOff)
+	for _, n := range l.names {
+		le.PutUint32(buf[p:], uint32(len(n)))
+		copy(buf[p+4:], n)
+		p += 4 + len(n)
+	}
+	return buf
+}
+
+// parseMeta decodes and validates a header + tables prefix, returning the
+// layout and the stored record count. buf must hold at least headerSize
+// bytes; the caller sizes it from the header's own dataOff field.
+func parseMeta(buf []byte) (layout, uint64, error) {
+	if len(buf) < headerSize {
+		return layout{}, 0, fmt.Errorf("reccache: truncated header (%d bytes)", len(buf))
+	}
+	if string(buf[0:4]) != core.RecordCacheMagic {
+		return layout{}, 0, fmt.Errorf("reccache: not a columnar record cache")
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(buf[4:]); v != core.RecordCacheVersion {
+		return layout{}, 0, fmt.Errorf("reccache: format version %d, want %d", v, core.RecordCacheVersion)
+	}
+	count := le.Uint64(buf[countFieldOff:])
+	capacity := le.Uint64(buf[16:])
+	models := le.Uint32(buf[24:])
+	ncols := le.Uint32(buf[28:])
+	nameOff := le.Uint64(buf[32:])
+	nameLen := le.Uint64(buf[40:])
+	if ncols != core.RecordNumColumns {
+		return layout{}, 0, fmt.Errorf("reccache: %d columns, want %d", ncols, core.RecordNumColumns)
+	}
+	if models == 0 || models > 1<<16 || capacity > 1<<40 {
+		return layout{}, 0, fmt.Errorf("reccache: implausible header (models %d, capacity %d)", models, capacity)
+	}
+	if nameOff != headerSize+core.RecordNumColumns*colDescSize ||
+		uint64(len(buf)) < nameOff+nameLen {
+		return layout{}, 0, fmt.Errorf("reccache: truncated name table")
+	}
+	names := make([]string, 0, models)
+	p := nameOff
+	for i := uint32(0); i < models; i++ {
+		if p+4 > nameOff+nameLen {
+			return layout{}, 0, fmt.Errorf("reccache: corrupt name table")
+		}
+		n := uint64(le.Uint32(buf[p:]))
+		if p+4+n > nameOff+nameLen {
+			return layout{}, 0, fmt.Errorf("reccache: corrupt name table")
+		}
+		names = append(names, string(buf[p+4:p+4+n]))
+		p += 4 + n
+	}
+	// Recompute the geometry from (names, capacity) and require the stored
+	// tables to match: the layout is a pure function of the two, so any
+	// disagreement means corruption.
+	l, err := makeLayout(names, int(capacity))
+	if err != nil {
+		return layout{}, 0, err
+	}
+	if l.nameLen != nameLen || le.Uint64(buf[48:]) != l.dataOff {
+		return layout{}, 0, fmt.Errorf("reccache: header geometry mismatch")
+	}
+	for i, c := range l.cols {
+		p := headerSize + i*colDescSize
+		if core.RecordColumn(le.Uint32(buf[p:])) != c.id ||
+			core.RecordDType(le.Uint32(buf[p+4:])) != c.dtype ||
+			le.Uint64(buf[p+8:]) != c.off || le.Uint64(buf[p+16:]) != c.stride {
+			return layout{}, 0, fmt.Errorf("reccache: column table mismatch at %d", i)
+		}
+	}
+	if count > capacity {
+		return layout{}, 0, fmt.Errorf("reccache: count %d exceeds capacity %d", count, capacity)
+	}
+	return l, count, nil
+}
+
+// hostLE reports whether the host stores multi-byte integers little-endian
+// — the precondition (with 8-byte alignment) for viewing a raw column as
+// []float64 without a decode pass.
+var hostLE = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64view reinterprets b as a []float64 without copying when the host is
+// little-endian and b is 8-byte aligned; ok reports whether the view is
+// valid. Callers fall back to an explicit decode otherwise.
+func f64view(b []byte) (v []float64, ok bool) {
+	if len(b)%8 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []float64{}, true
+	}
+	if !hostLE || uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// f64decode is the portable fallback: decode little-endian doubles into
+// dst, which must hold len(b)/8 elements.
+func f64decode(dst []float64, b []byte) {
+	le := binary.LittleEndian
+	for i := range dst {
+		dst[i] = math.Float64frombits(le.Uint64(b[i*8:]))
+	}
+}
+
+// f64encode writes vals as little-endian doubles into dst.
+func f64encode(dst []byte, vals []float64) {
+	le := binary.LittleEndian
+	for i, v := range vals {
+		le.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}

@@ -1,0 +1,447 @@
+package reccache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+)
+
+func sampleRecords(n, m int) []core.WindowRecord {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	header := core.NewRecordHeader(names...)
+	recs := make([]core.WindowRecord, n)
+	for i := range recs {
+		preds := make([]float64, m)
+		for j := range preds {
+			preds[j] = float64(i*m+j) + 0.25
+		}
+		recs[i] = core.WindowRecord{
+			TrueHR:     float64(60 + i%90),
+			Activity:   dalia.Activity(i % dalia.NumActivities),
+			Difficulty: 1 + i%9,
+			Header:     header,
+			Preds:      preds,
+		}
+	}
+	return recs
+}
+
+func writeAll(t *testing.T, path string, recs []core.WindowRecord) {
+	t.Helper()
+	names := recs[0].Header.Names()
+	w, err := Create(path, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkRecords(t *testing.T, got, want []core.WindowRecord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TrueHR != want[i].TrueHR || got[i].Activity != want[i].Activity ||
+			got[i].Difficulty != want[i].Difficulty {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		if len(got[i].Preds) != len(want[i].Preds) {
+			t.Fatalf("record %d has %d preds, want %d", i, len(got[i].Preds), len(want[i].Preds))
+		}
+		for j := range want[i].Preds {
+			if got[i].Preds[j] != want[i].Preds[j] {
+				t.Fatalf("record %d pred %d: %v vs %v", i, j, got[i].Preds[j], want[i].Preds[j])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := sampleRecords(523, 3) // non-multiple of iterBlock, odd capacity exercises padding
+	path := filepath.Join(t.TempDir(), "records.chrc")
+	writeAll(t, path, recs)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != len(recs) || r.Capacity() != len(recs) {
+		t.Fatalf("count/capacity = %d/%d, want %d", r.Count(), r.Capacity(), len(recs))
+	}
+	got, err := r.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, recs)
+	if _, ok := got[0].Pred("b"); !ok {
+		t.Fatal("loaded records lost the prediction header")
+	}
+}
+
+func TestRecordsIntoReusesSlice(t *testing.T) {
+	recs := sampleRecords(64, 2)
+	path := filepath.Join(t.TempDir(), "records.chrc")
+	writeAll(t, path, recs)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pool := make([]core.WindowRecord, 0, 128)
+	got, err := r.RecordsInto(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, recs)
+	if &got[:1][0] != &pool[:1][0] {
+		t.Fatal("RecordsInto did not reuse the pooled slice")
+	}
+}
+
+// TestSegmentOrderIndependent is the property resumable parallel writes
+// rely on: the finished file is byte-identical no matter how the worker
+// segments were ordered.
+func TestSegmentOrderIndependent(t *testing.T) {
+	recs := sampleRecords(100, 3)
+	names := recs[0].Header.Names()
+	dir := t.TempDir()
+
+	inOrder := filepath.Join(dir, "inorder.chrc")
+	writeAll(t, inOrder, recs)
+
+	shuffled := filepath.Join(dir, "shuffled.chrc")
+	w, err := Create(shuffled, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range [][2]int{{70, 100}, {0, 13}, {40, 70}, {13, 40}} {
+		if err := w.WriteSegment(seg[0], recs[seg[0]:seg[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(inOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("segment order changed the file bytes")
+	}
+}
+
+func TestCountTracksContiguousPrefix(t *testing.T) {
+	recs := sampleRecords(50, 2)
+	names := recs[0].Header.Names()
+	w, err := Create(filepath.Join(t.TempDir(), "r.chrc"), names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteSegment(30, recs[30:50]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 0 {
+		t.Fatalf("count = %d with a hole at the front, want 0", w.Count())
+	}
+	if err := w.WriteSegment(0, recs[0:30]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 50 {
+		t.Fatalf("count = %d after filling the hole, want 50", w.Count())
+	}
+}
+
+// TestResumeByteIdentical kills a write after a checkpoint at k < N and
+// resumes it; the finalized file must match an uninterrupted run bit for
+// bit.
+func TestResumeByteIdentical(t *testing.T) {
+	recs := sampleRecords(300, 3)
+	names := recs[0].Header.Names()
+	dir := t.TempDir()
+
+	full := filepath.Join(dir, "full.chrc")
+	writeAll(t, full, recs)
+
+	resumed := filepath.Join(dir, "resumed.chrc")
+	w, err := Create(resumed, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 137
+	if err := w.WriteSegment(0, recs[:k]); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: checkpoint, close, leave the partial file.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(resumed); !os.IsNotExist(err) {
+		t.Fatal("unfinalized file visible under the final name")
+	}
+
+	w2, err := Resume(resumed, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Count() != k {
+		t.Fatalf("resumed count = %d, want %d", w2.Count(), k)
+	}
+	if err := w2.WriteSegment(k, recs[k:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed file differs from uninterrupted write")
+	}
+}
+
+func TestResumeRejectsDifferentRun(t *testing.T) {
+	recs := sampleRecords(10, 2)
+	names := recs[0].Header.Names()
+	path := filepath.Join(t.TempDir(), "r.chrc")
+	w, err := Create(path, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(path, names, 11); err == nil {
+		t.Fatal("resume accepted a different capacity")
+	}
+	if _, err := Resume(path, []string{"x", "y"}, 10); err == nil {
+		t.Fatal("resume accepted different model names")
+	}
+	if _, err := Resume(path, names, 10); err != nil {
+		t.Fatalf("resume rejected the matching run: %v", err)
+	}
+}
+
+func TestOpenPartialExposesCheckpoint(t *testing.T) {
+	recs := sampleRecords(40, 2)
+	names := recs[0].Header.Names()
+	path := filepath.Join(t.TempDir(), "r.chrc")
+	w, err := Create(path, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(0, recs[:25]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(PartialPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 25 || r.Capacity() != 40 {
+		t.Fatalf("partial count/capacity = %d/%d, want 25/40", r.Count(), r.Capacity())
+	}
+	got, err := r.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, recs[:25])
+}
+
+// TestOpenRejectsTruncatedFile is the regression the columnar header
+// exists for: a file cut below its laid-out size must be rejected at
+// Open, before any column read.
+func TestOpenRejectsTruncatedFile(t *testing.T) {
+	recs := sampleRecords(128, 3)
+	path := filepath.Join(t.TempDir(), "r.chrc")
+	writeAll(t, path, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(data) - 1, len(data) / 2, 200, 40, 2} {
+		if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Fatalf("truncated file (%d of %d bytes) accepted", keep, len(data))
+		}
+	}
+}
+
+func TestOpenRejectsForeignAndStaleVersions(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "foreign")
+	if err := os.WriteFile(foreign, bytes.Repeat([]byte{0x42}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(foreign); err == nil {
+		t.Fatal("foreign file accepted")
+	} else if !strings.Contains(err.Error(), "not a columnar record cache") {
+		t.Fatalf("unexpected foreign-file error: %v", err)
+	}
+
+	recs := sampleRecords(4, 1)
+	path := filepath.Join(dir, "r.chrc")
+	writeAll(t, path, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = byte(core.RecordCacheVersion + 1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("future format version accepted")
+	} else if !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("unexpected version error: %v", err)
+	}
+}
+
+func TestIterMatchesRecords(t *testing.T) {
+	recs := sampleRecords(iterBlock*2+17, 3) // spans multiple blocks + tail
+	path := filepath.Join(t.TempDir(), "r.chrc")
+	writeAll(t, path, recs)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	n := 0
+	err = r.Iter(func(i int, rec *core.WindowRecord) bool {
+		if i != n {
+			t.Fatalf("iter index %d, want %d", i, n)
+		}
+		want := &recs[i]
+		if rec.TrueHR != want.TrueHR || rec.Activity != want.Activity || rec.Difficulty != want.Difficulty {
+			t.Fatalf("iter record %d mismatch", i)
+		}
+		for j := range want.Preds {
+			if rec.Preds[j] != want.Preds[j] {
+				t.Fatalf("iter record %d pred %d: %v vs %v", i, j, rec.Preds[j], want.Preds[j])
+			}
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("iterated %d records, want %d", n, len(recs))
+	}
+
+	// Early stop.
+	n = 0
+	if err := r.Iter(func(int, *core.WindowRecord) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop after %d records, want 5", n)
+	}
+}
+
+// TestConcurrentSegmentFlush exercises the write path the record builder
+// actually uses: many workers each writing their segment and immediately
+// checkpointing. The finalized header must carry the full count (a racy
+// flush could persist an older prefix while marking a newer one flushed,
+// and Finalize would then skip the rewrite).
+func TestConcurrentSegmentFlush(t *testing.T) {
+	recs := sampleRecords(40*25, 3)
+	names := recs[0].Header.Names()
+	path := filepath.Join(t.TempDir(), "r.chrc")
+	w, err := Create(path, names, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 40)
+	for g := 0; g < 40; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := g * 25
+			if err := w.WriteSegment(lo, recs[lo:lo+25]); err != nil {
+				errs[g] = err
+				return
+			}
+			errs[g] = w.Flush()
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != len(recs) {
+		t.Fatalf("finalized header count = %d, want %d", r.Count(), len(recs))
+	}
+	got, err := r.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, recs)
+}
+
+func TestWriterValidatesRecords(t *testing.T) {
+	recs := sampleRecords(4, 2)
+	w, err := Create(filepath.Join(t.TempDir(), "r.chrc"), recs[0].Header.Names(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	bad := recs[1]
+	bad.Preds = bad.Preds[:1]
+	if err := w.WriteSegment(0, []core.WindowRecord{recs[0], bad}); err == nil {
+		t.Fatal("short prediction row accepted")
+	}
+	if err := w.WriteSegment(3, recs[:2]); err == nil {
+		t.Fatal("segment past capacity accepted")
+	}
+	if err := w.Finalize(); err == nil {
+		t.Fatal("finalize accepted an incomplete file")
+	}
+}

@@ -1,0 +1,16 @@
+// Package sim runs whole-system simulations of a CHRIS smartwatch: window
+// ticks, decision-engine dispatch, MCU/radio/phone energy accounting,
+// sensor front-end drain, BLE link dropouts with configuration
+// re-selection, and battery depletion — the pieces behind the paper's
+// battery-life motivation (§I) and connectivity discussion (§IV-B).
+//
+// A simulation composes the decision engine (internal/core), the
+// calibrated hardware models (internal/hw) and a window stream
+// (internal/dalia) into a tick loop; the examples/ directory drives it
+// for the battery-life and connection-loss scenarios.
+//
+// Hot paths: the per-window tick loop. It is orders of magnitude lighter
+// than the inference pipeline (no model evaluation — it consumes
+// precomputed records/decisions and energy table lookups), so it has no
+// dedicated BENCH kernels; wall-clock is dominated by the packages above.
+package sim

@@ -1,8 +1,3 @@
-// Package sim runs whole-system simulations of a CHRIS smartwatch: window
-// ticks, decision-engine dispatch, MCU/radio/phone energy accounting,
-// sensor front-end drain, BLE link dropouts with configuration
-// re-selection, and battery depletion — the pieces behind the paper's
-// battery-life motivation (§I) and connectivity discussion (§IV-B).
 package sim
 
 import (
