@@ -17,10 +17,12 @@
 // Hot paths: none in bench itself — the package is the orchestrator. Its
 // kernels.go instead *measures* everything the repository optimizes:
 // KernelBenchmarks pairs each optimized kernel with a seed-equivalent
-// reference (FFT plans, Conv1D, batched float32/int8 network forwards,
-// raw GEMMs, and the record cache encode/decode/first-record/iterate
-// kernels), and BuildBenchReport writes the committed BENCH_*.json perf
-// trajectory together with the headline paper metrics.
+// reference (FFT plans in both precisions, the float32 spectral-window
+// estimator against its float64 reference, Conv1D, batched float32/int8
+// network forwards, raw GEMMs, and the record cache
+// encode/decode/first-record/iterate kernels), and BuildBenchReport
+// writes the committed BENCH_*.json perf trajectory together with the
+// headline paper metrics.
 //
 // BENCH kernels owned here: CacheEncode4096x3/{columnar,gobseed},
 // CacheDecode4096x3/{columnar,gobseed}, CacheFirstRecord/{columnar,

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dalia"
 	"repro/internal/dsp"
 	"repro/internal/gemm"
+	"repro/internal/models/spectral"
 	"repro/internal/models/tcn"
 	"repro/internal/reccache"
 )
@@ -121,6 +122,38 @@ func KernelBenchmarks() []KernelResult {
 		sb[i] = int8(rng.Intn(255) - 127)
 	}
 
+	// Float32 spectral path: the deployed Plan32 kernels next to their
+	// float64 references at the pipeline's window size (256) and at 4096,
+	// where the halved working set also matters.
+	sig32 := make([]float32, 256)
+	for i := range sig32 {
+		sig32[i] = float32(sig[i])
+	}
+	plan32 := dsp.NewPlan32(256)
+	spec32 := make([]complex64, 129)
+	pow32 := make([]float32, 129)
+	sig4k := make([]float64, 4096)
+	sig4k32 := make([]float32, 4096)
+	for i := range sig4k {
+		sig4k[i] = math.Sin(float64(i) / 3)
+		sig4k32[i] = float32(sig4k[i])
+	}
+	plan4k := dsp.NewPlan(4096)
+	plan4k32 := dsp.NewPlan32(4096)
+	spec4k := make([]complex128, 2049)
+	spec4k32 := make([]complex64, 2049)
+	pow4k := make([]float64, 2049)
+	pow4k32 := make([]float32, 2049)
+
+	// Whole-estimator spectral windows: the float64 SpectralTrack window
+	// (the seed-equivalent reference for the deployed path) against the
+	// float32 path on the same synthetic cardiac-band window.
+	est64 := spectral.New()
+	est32 := spectral.New32()
+	specWin := spectralBenchWindow()
+	est64.EstimateHR(specWin)
+	est32.EstimateHR(specWin)
+
 	results := []KernelResult{
 		runKernel("RealFFT256/plan", func(b *testing.B) {
 			b.ReportAllocs()
@@ -138,6 +171,54 @@ func KernelBenchmarks() []KernelResult {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				seedPowerSpectrum(sig)
+			}
+		}),
+		runKernel("Fft32_256/plan32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan32.RealFFTInto(spec32, sig32)
+			}
+		}),
+		runKernel("PowerSpectrum32_256/plan32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan32.PowerSpectrumInto(pow32, sig32)
+			}
+		}),
+		runKernel("RealFFT4096/plan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan4k.RealFFTInto(spec4k, sig4k)
+			}
+		}),
+		runKernel("Fft32_4096/plan32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan4k32.RealFFTInto(spec4k32, sig4k32)
+			}
+		}),
+		runKernel("PowerSpectrum4096/plan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan4k.PowerSpectrumInto(pow4k, sig4k)
+			}
+		}),
+		runKernel("PowerSpectrum32_4096/plan32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan4k32.PowerSpectrumInto(pow4k32, sig4k32)
+			}
+		}),
+		runKernel("SpectralWindow64/f64seed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				est64.EstimateHR(specWin)
+			}
+		}),
+		runKernel("SpectralWindow32/f32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				est32.EstimateHR(specWin)
 			}
 		}),
 		runKernel("Conv1DForward48x128/opt", func(b *testing.B) {
@@ -315,6 +396,23 @@ func cacheKernels() []KernelResult {
 			}
 		}),
 	}
+}
+
+// spectralBenchWindow synthesizes one cardiac-band window (88 BPM PPG
+// over mild wrist motion, enough to engage the artifact mask) for the
+// whole-estimator spectral kernels.
+func spectralBenchWindow() *dalia.Window {
+	const n, rate = 256, 32.0
+	w := &dalia.Window{PPG: make([]float64, n), AccelX: make([]float64, n),
+		AccelY: make([]float64, n), AccelZ: make([]float64, n), Rate: rate}
+	for i := range w.PPG {
+		ts := float64(i) / rate
+		w.PPG[i] = math.Sin(2*math.Pi*1.47*ts) + 0.2*math.Sin(2*math.Pi*2.94*ts)
+		w.AccelX[i] = 0.1 * math.Sin(2*math.Pi*0.9*ts)
+		w.AccelY[i] = 0.05 * math.Cos(2*math.Pi*0.9*ts)
+		w.AccelZ[i] = 1 + 0.02*math.Sin(2*math.Pi*1.8*ts)
+	}
+	return w
 }
 
 func cacheSampleRecords(n int) []core.WindowRecord {

@@ -1,0 +1,54 @@
+package dsp
+
+// FFT32 computes the in-place forward FFT of a complex64 signal whose
+// length must be a power of two. It is a thin wrapper over a shared,
+// cached Plan32; hot paths that transform many windows of one size should
+// hold their own Plan32 and use its *Into methods.
+func FFT32(x []complex64) {
+	if len(x) == 0 {
+		return
+	}
+	plan32For(len(x)).Execute(x)
+}
+
+// IFFT32 computes the inverse FFT of x in place, including the 1/N
+// scaling.
+func IFFT32(x []complex64) {
+	if len(x) == 0 {
+		return
+	}
+	plan32For(len(x)).Inverse(x)
+}
+
+// RealFFT32 returns the one-sided complex spectrum of a real float32
+// signal (len(x)/2+1 bins, DC through Nyquist). len(x) must be a power of
+// two. The tolerance contract on Plan32.RealFFTInto applies.
+func RealFFT32(x []float32) []complex64 {
+	out := make([]complex64, len(x)/2+1)
+	return plan32For(len(x)).RealFFTInto(out, x)
+}
+
+// PowerSpectrum32 returns the one-sided power spectrum |X[k]|² of a real
+// float32 signal (len(x)/2+1 bins). len(x) must be a power of two.
+func PowerSpectrum32(x []float32) []float32 {
+	spec := make([]complex64, len(x)/2+1)
+	plan32For(len(x)).RealFFTInto(spec, x)
+	out := make([]float32, len(spec))
+	for i, c := range spec {
+		re, im := real(c), imag(c)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// Convert32 narrows src into dst element-wise and returns dst resliced to
+// len(src); dst must have at least src's capacity. It is the documented
+// float64→float32 boundary of the deployed spectral path: windows arrive
+// as float64, are narrowed once, and every later kernel stays in float32.
+func Convert32(dst []float32, src []float64) []float32 {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}

@@ -1,0 +1,354 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan32 is the single-precision counterpart of Plan: precomputed tables
+// for radix-2 FFTs of one size over complex64 data. It exists for the
+// deployed spectral path — complex64 halves the memory traffic of every
+// butterfly pass and matches the float32 layout of the TCN side, while the
+// float64 Plan remains the bitwise reference the paper artifacts are
+// generated with.
+//
+// Twiddle factors are evaluated in float64 and rounded once at
+// construction, so the only precision loss relative to Plan is the float32
+// butterfly arithmetic itself; the resulting spectra agree with the float64
+// reference within the tolerance documented on RealFFTInto.
+//
+// A Plan32's tables are read-only after construction, so Execute, Inverse
+// and RealFFTInto may be called concurrently from multiple goroutines.
+// PowerSpectrumInto reuses an internal scratch buffer and is not safe for
+// concurrent use on the same Plan32.
+type Plan32 struct {
+	n   int
+	rev []int32     // bit-reversal permutation
+	tw  []complex64 // tw[k] = exp(-2πik/n), k < n/2 (real-unpack table)
+	// stages[s] holds the twiddles of DIT stage size 4<<s contiguously,
+	// mirroring Plan.stages.
+	stages [][]complex64
+
+	half    *Plan32 // (n/2)-point plan backing the real-input transform
+	scratch []complex64
+}
+
+// NewPlan32 builds the tables for n-point single-precision transforms. n
+// must be a power of two (and at least 1); NewPlan32 panics otherwise.
+func NewPlan32(n int) *Plan32 {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	p := &Plan32{n: n}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	p.rev = make([]int32, n)
+	for i := 0; i < n; i++ {
+		if n == 1 {
+			break
+		}
+		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	p.tw = make([]complex64, n/2)
+	for k := range p.tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(float32(c), float32(s))
+	}
+	for size := 4; size <= n; size <<= 1 {
+		tbl := make([]complex64, size/2)
+		for k := range tbl {
+			s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(size))
+			tbl[k] = complex(float32(c), float32(s))
+		}
+		p.stages = append(p.stages, tbl)
+	}
+	if n >= 2 {
+		p.half = NewPlan32(n / 2)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan32) Size() int { return p.n }
+
+// Execute computes the in-place forward FFT of x, which must have exactly
+// the plan's length. It performs no allocations.
+func (p *Plan32) Execute(x []complex64) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse FFT of x, including the 1/N
+// scaling. It performs no allocations.
+func (p *Plan32) Inverse(x []complex64) { p.transform(x, true) }
+
+func (p *Plan32) transform(x []complex64, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: plan size %d, input length %d", n, len(x)))
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	p.butterflies(x, inverse)
+	if inverse {
+		inv := complex(1/float32(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// butterflies runs the DIT stages over x, which must already be in
+// bit-reversed order. On amd64 the forward transform dispatches to SSE2
+// kernels that process two complex64 points per vector — the packed-lane
+// win complex128 cannot have, and the reason the float32 spectral path is
+// faster rather than merely narrower. The vector kernels perform exactly
+// the scalar schedule's multiplications and additions (no FMA
+// contraction), so their output is bitwise identical to
+// butterfliesGeneric — asserted by TestPlan32AsmMatchesGeneric.
+func (p *Plan32) butterflies(x []complex64, inverse bool) {
+	if haveAsmButterflies32 && !inverse && p.n >= 8 {
+		p.butterfliesAsm(x)
+		return
+	}
+	p.butterfliesGeneric(x, inverse)
+}
+
+// butterfliesGeneric is the portable scalar form: the same fused radix-2²
+// schedule as the float64 Plan, on float32 operands. It is the only
+// implementation of the inverse stages (inversion is off the deployed
+// spectral path) and the reference the amd64 vector kernels are tested
+// against.
+func (p *Plan32) butterfliesGeneric(x []complex64, inverse bool) {
+	n := p.n
+	switch {
+	case n == 2:
+		a, b := x[0], x[1]
+		x[0], x[1] = a+b, a-b
+		return
+	case n < 2:
+		return
+	}
+	// Sizes 2 and 4 fused into one multiplication-free pass.
+	for i := 0; i < n; i += 4 {
+		q := x[i : i+4 : i+4]
+		a, b, c, d := q[0], q[1], q[2], q[3]
+		e0, e1 := a+b, a-b
+		o0, o1 := c+d, c-d
+		var t complex64
+		if inverse {
+			t = complex(-imag(o1), real(o1))
+		} else {
+			t = complex(imag(o1), -real(o1))
+		}
+		q[0], q[2] = e0+o0, e0-o0
+		q[1], q[3] = e1+t, e1-t
+	}
+	// Radix-2² main loop over fused stage pairs.
+	si, size := 1, 8
+	for size*2 <= n {
+		tw1 := p.stages[si]   // stage `size`, len size/2
+		tw2 := p.stages[si+1] // stage 2·size, len size
+		h := size / 2
+		block := size * 2
+		// k = 0: all twiddles unit (or the fixed ∓i rotation).
+		for i0 := 0; i0 < n; i0 += block {
+			i1 := i0 + h
+			i2 := i0 + size
+			i3 := i2 + h
+			a, b, c, d := x[i0], x[i1], x[i2], x[i3]
+			a1, b1 := a+b, a-b
+			c1, d1 := c+d, c-d
+			var v complex64
+			if inverse {
+				v = complex(-imag(d1), real(d1))
+			} else {
+				v = complex(imag(d1), -real(d1))
+			}
+			x[i0], x[i2] = a1+c1, a1-c1
+			x[i1], x[i3] = b1+v, b1-v
+		}
+		for k := 1; k < h; k++ {
+			w1, w2 := tw1[k], tw2[k]
+			w1r, w1i := real(w1), imag(w1)
+			w2r, w2i := real(w2), imag(w2)
+			if inverse {
+				w1i, w2i = -w1i, -w2i
+			}
+			for i0 := k; i0 < n; i0 += block {
+				i1 := i0 + h
+				i2 := i0 + size
+				i3 := i2 + h
+				br, bi := real(x[i1]), imag(x[i1])
+				dr, di := real(x[i3]), imag(x[i3])
+				tbr, tbi := br*w1r-bi*w1i, br*w1i+bi*w1r
+				tdr, tdi := dr*w1r-di*w1i, dr*w1i+di*w1r
+				ar, ai := real(x[i0]), imag(x[i0])
+				cr, ci := real(x[i2]), imag(x[i2])
+				a1r, a1i := ar+tbr, ai+tbi
+				b1r, b1i := ar-tbr, ai-tbi
+				c1r, c1i := cr+tdr, ci+tdi
+				d1r, d1i := cr-tdr, ci-tdi
+				tcr, tci := c1r*w2r-c1i*w2i, c1r*w2i+c1i*w2r
+				ur, ui := d1r*w2r-d1i*w2i, d1r*w2i+d1i*w2r
+				// Second-stage odd-pair twiddle is W₄·w2: a rotation.
+				var vr, vi float32
+				if inverse {
+					vr, vi = -ui, ur
+				} else {
+					vr, vi = ui, -ur
+				}
+				x[i0] = complex(a1r+tcr, a1i+tci)
+				x[i2] = complex(a1r-tcr, a1i-tci)
+				x[i1] = complex(b1r+vr, b1i+vi)
+				x[i3] = complex(b1r-vr, b1i-vi)
+			}
+		}
+		si += 2
+		size *= 4
+	}
+	// One unpaired radix-2 stage remains when log₂(n) is even.
+	if size <= n {
+		tbl := p.stages[si]
+		half := len(tbl)
+		lo := x[:half]
+		hi := x[half:]
+		if inverse {
+			for k, w := range tbl {
+				wr, wi := real(w), -imag(w)
+				br, bi := real(hi[k]), imag(hi[k])
+				tr := br*wr - bi*wi
+				ti := br*wi + bi*wr
+				ar, ai := real(lo[k]), imag(lo[k])
+				lo[k] = complex(ar+tr, ai+ti)
+				hi[k] = complex(ar-tr, ai-ti)
+			}
+		} else {
+			for k, w := range tbl {
+				wr, wi := real(w), imag(w)
+				br, bi := real(hi[k]), imag(hi[k])
+				tr := br*wr - bi*wi
+				ti := br*wi + bi*wr
+				ar, ai := real(lo[k]), imag(lo[k])
+				lo[k] = complex(ar+tr, ai+ti)
+				hi[k] = complex(ar-tr, ai-ti)
+			}
+		}
+	}
+}
+
+// RealFFTInto computes the one-sided complex spectrum (DC through Nyquist,
+// n/2+1 bins) of the real float32 signal x into dst, which must have
+// capacity for n/2+1 elements, and returns dst resliced. Same half-size
+// pack/unpack scheme as Plan.RealFFTInto; no allocations.
+//
+// Tolerance contract: for inputs with |x[i]| ≤ 1 and n ≤ 4096, every
+// output bin agrees with the float64 Plan applied to the same (widened)
+// samples within 1e-4·max|X| in each component, where max|X| is the
+// largest spectral magnitude of the window (power-spectrum bins agree
+// within 2e-4·max power). The float32 path is therefore interchangeable
+// for band scans and peak picking, but not for bitwise artifact
+// reproduction — the float64 Plan stays the reference there.
+func (p *Plan32) RealFFTInto(dst []complex64, x []float32) []complex64 {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: plan size %d, input length %d", p.n, len(x)))
+	}
+	if p.n == 1 {
+		dst = dst[:1]
+		dst[0] = complex(x[0], 0)
+		return dst
+	}
+	m := p.n / 2
+	dst = dst[:m+1]
+	z := dst[:m]
+	for j, src := range p.half.rev {
+		z[j] = complex(x[2*src], x[2*src+1])
+	}
+	p.half.butterflies(z, false)
+
+	// Unpack, pairwise in place (see Plan.RealFFTInto for the algebra).
+	z0 := z[0]
+	for k := 1; k < m-k; k++ {
+		ar, ai := real(z[k]), imag(z[k])
+		br, bi := real(z[m-k]), -imag(z[m-k])
+		fer, fei := 0.5*(ar+br), 0.5*(ai+bi)
+		for_, foi := 0.5*(ai-bi), -0.5*(ar-br)
+		wr, wi := real(p.tw[k]), imag(p.tw[k])
+		tr := for_*wr - foi*wi
+		ti := for_*wi + foi*wr
+		dst[k] = complex(fer+tr, fei+ti)
+		dst[m-k] = complex(fer-tr, ti-fei)
+	}
+	if m >= 2 {
+		mid := z[m/2]
+		dst[m/2] = complex(real(mid), -imag(mid))
+	}
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	return dst
+}
+
+// PowerSpectrumInto computes the one-sided power spectrum |X[k]|² of the
+// real float32 signal x (n/2+1 bins) into dst, which must have capacity
+// for n/2+1 elements, and returns dst resliced. After the first call on a
+// plan it performs no allocations. Not safe for concurrent use on one
+// Plan32 (it reuses an internal complex64 scratch buffer). The tolerance
+// contract on RealFFTInto applies.
+func (p *Plan32) PowerSpectrumInto(dst []float32, x []float32) []float32 {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: plan size %d, input length %d", p.n, len(x)))
+	}
+	if p.n == 1 {
+		dst = dst[:1]
+		dst[0] = x[0] * x[0]
+		return dst
+	}
+	m := p.n / 2
+	if cap(p.scratch) < m {
+		p.scratch = make([]complex64, m)
+	}
+	z := p.scratch[:m]
+	for j, src := range p.half.rev {
+		z[j] = complex(x[2*src], x[2*src+1])
+	}
+	p.half.butterflies(z, false)
+	// Unpack squared on the fly, as in Plan.PowerSpectrumInto.
+	dst = dst[:m+1]
+	z0 := z[0]
+	for k := 1; k < m-k; k++ {
+		ar, ai := real(z[k]), imag(z[k])
+		br, bi := real(z[m-k]), -imag(z[m-k])
+		fer, fei := 0.5*(ar+br), 0.5*(ai+bi)
+		for_, foi := 0.5*(ai-bi), -0.5*(ar-br)
+		wr, wi := real(p.tw[k]), imag(p.tw[k])
+		tr := for_*wr - foi*wi
+		ti := for_*wi + foi*wr
+		xr, xi := fer+tr, fei+ti
+		dst[k] = xr*xr + xi*xi
+		yr, yi := fer-tr, fei-ti
+		dst[m-k] = yr*yr + yi*yi
+	}
+	if m >= 2 {
+		mr, mi := real(z[m/2]), imag(z[m/2])
+		dst[m/2] = mr*mr + mi*mi
+	}
+	s0 := real(z0) + imag(z0)
+	sm := real(z0) - imag(z0)
+	dst[0] = s0 * s0
+	dst[m] = sm * sm
+	return dst
+}
+
+// plan32Cache shares read-only single-precision plans between the
+// package-level convenience functions, mirroring planCache.
+var plan32Cache sync.Map // int → *Plan32
+
+// plan32For returns the shared Plan32 for size n, building it on first use.
+func plan32For(n int) *Plan32 {
+	if v, ok := plan32Cache.Load(n); ok {
+		return v.(*Plan32)
+	}
+	v, _ := plan32Cache.LoadOrStore(n, NewPlan32(n))
+	return v.(*Plan32)
+}

@@ -1,0 +1,46 @@
+//go:build amd64 && !purego
+
+package dsp
+
+// haveAsmButterflies32 gates the SSE2 forward-butterfly kernels. SSE2 is
+// part of the amd64 baseline (GOAMD64=v1), so no runtime feature check is
+// needed; build with -tags purego to force the portable scalar path.
+const haveAsmButterflies32 = true
+
+// firstPass32 runs the fused multiplication-free size-2+4 butterfly pass
+// over n complex64 points (n must be a multiple of 4).
+//
+//go:noescape
+func firstPass32(x *complex64, n int)
+
+// pairStage32 runs one fused radix-2² stage pair (size, 2·size) over the
+// n-point array, two k-columns per vector iteration. size/2 must be even
+// (true for every pair, whose smallest size is 8).
+//
+//go:noescape
+func pairStage32(x *complex64, n int, tw1, tw2 *complex64, size int)
+
+// finalStage32 runs the unpaired closing radix-2 stage: half butterflies
+// between x[k] and x[half+k] with twiddles tbl[k], two per iteration
+// (half must be even, true for every n ≥ 8 that reaches it).
+//
+//go:noescape
+func finalStage32(x *complex64, tbl *complex64, half int)
+
+// butterfliesAsm is the vector form of the forward butterfliesGeneric
+// schedule for n ≥ 8: identical stage sequence, identical arithmetic
+// (mul/add with per-operation rounding, no FMA), bitwise-identical output.
+func (p *Plan32) butterfliesAsm(x []complex64) {
+	n := p.n
+	firstPass32(&x[0], n)
+	si, size := 1, 8
+	for size*2 <= n {
+		pairStage32(&x[0], n, &p.stages[si][0], &p.stages[si+1][0], size)
+		si += 2
+		size *= 4
+	}
+	if size <= n {
+		tbl := p.stages[si]
+		finalStage32(&x[0], &tbl[0], len(tbl))
+	}
+}

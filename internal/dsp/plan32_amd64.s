@@ -1,0 +1,233 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 kernels for the forward complex64 butterflies. Two complex64
+// points ride in each XMM register ([re0, im0, re1, im1]), which is the
+// packed-lane advantage the float32 spectral path exists for.
+//
+// Every kernel performs exactly the multiplications and additions of the
+// scalar schedule in plan32.go, each with its own IEEE rounding (no FMA),
+// so the results are bitwise identical to butterfliesGeneric. The packed
+// complex product uses the identity a-b == a+(-b) (exact, including
+// signed zeros): t1 = [br*wr, bi*wr], t2 = [-(bi*wi), br*wi],
+// result = t1 + t2 = [br*wr - bi*wi, bi*wr + br*wi].
+
+// maskEven negates lanes 0 and 2 (the real lanes of a complex64 pair).
+DATA maskEven<>+0(SB)/4, $0x80000000
+DATA maskEven<>+4(SB)/4, $0x00000000
+DATA maskEven<>+8(SB)/4, $0x80000000
+DATA maskEven<>+12(SB)/4, $0x00000000
+GLOBL maskEven<>(SB), RODATA|NOPTR, $16
+
+// maskOdd negates lanes 1 and 3 (the imaginary lanes).
+DATA maskOdd<>+0(SB)/4, $0x00000000
+DATA maskOdd<>+4(SB)/4, $0x80000000
+DATA maskOdd<>+8(SB)/4, $0x00000000
+DATA maskOdd<>+12(SB)/4, $0x80000000
+GLOBL maskOdd<>(SB), RODATA|NOPTR, $16
+
+// maskHigh negates lanes 2 and 3 (the second complex of a pair).
+DATA maskHigh<>+0(SB)/4, $0x00000000
+DATA maskHigh<>+4(SB)/4, $0x00000000
+DATA maskHigh<>+8(SB)/4, $0x80000000
+DATA maskHigh<>+12(SB)/4, $0x80000000
+GLOBL maskHigh<>(SB), RODATA|NOPTR, $16
+
+// maskLane3 negates lane 3 only.
+DATA maskLane3<>+0(SB)/4, $0x00000000
+DATA maskLane3<>+4(SB)/4, $0x00000000
+DATA maskLane3<>+8(SB)/4, $0x00000000
+DATA maskLane3<>+12(SB)/4, $0x80000000
+GLOBL maskLane3<>(SB), RODATA|NOPTR, $16
+
+// func firstPass32(x *complex64, n int)
+//
+// The fused size-2+4 pass: for each quartet (a, b, c, d),
+//   e = [a+b, a-b], o = [c+d, c-d], t = (imag(o1), -real(o1))
+//   out = [e0+o0, e1+t, e0-o0, e1-t]
+TEXT ·firstPass32(SB), NOSPLIT, $0-16
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), SI
+	SHLQ $3, SI              // byte length
+	XORQ AX, AX
+
+fpLoop:
+	CMPQ AX, SI
+	JGE  fpDone
+	MOVUPS (DI)(AX*1), X0    // [a, b]
+	MOVUPS 16(DI)(AX*1), X1  // [c, d]
+	// E = [a+b, a-b]
+	MOVAPS  X0, X2
+	MOVLHPS X2, X2           // [a, a]
+	SHUFPS  $0xEE, X0, X0    // [b, b]
+	XORPS   maskHigh<>(SB), X0 // [b, -b]
+	ADDPS   X0, X2           // E
+	// O = [c+d, c-d]
+	MOVAPS  X1, X3
+	MOVLHPS X3, X3           // [c, c]
+	SHUFPS  $0xEE, X1, X1    // [d, d]
+	XORPS   maskHigh<>(SB), X1 // [d, -d]
+	ADDPS   X1, X3           // O = [o0, o1]
+	// OT = [o0, t]: swap o1's components, negate the new imag lane
+	SHUFPS  $0xB4, X3, X3    // [o0, (o1.im, o1.re)]
+	XORPS   maskLane3<>(SB), X3
+	// out pairs
+	MOVAPS X2, X4
+	ADDPS  X3, X4            // [q0, q1]
+	MOVUPS X4, (DI)(AX*1)
+	SUBPS  X3, X2            // [q2, q3]
+	MOVUPS X2, 16(DI)(AX*1)
+	ADDQ $32, AX
+	JMP  fpLoop
+
+fpDone:
+	RET
+
+// func pairStage32(x *complex64, n int, tw1, tw2 *complex64, size int)
+//
+// One fused radix-2² stage pair. For block base i0 and column k:
+//   tb = b·w1, td = d·w1
+//   a1 = a+tb, b1 = a-tb, c1 = c+td, d1 = c-td
+//   tc = c1·w2, u = d1·w2, v = (imag(u), -real(u))
+//   x[i0] = a1+tc, x[i0+size] = a1-tc, x[i0+h] = b1+v, x[i0+size+h] = b1-v
+// Two adjacent k columns per iteration; k = 0 runs through the same path
+// (tw[0] is exactly 1+0i, and 1·z and z+(-0) reproduce z bitwise).
+TEXT ·pairStage32(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), SI
+	SHLQ $3, SI              // n in bytes
+	MOVQ tw1+16(FP), R8
+	MOVQ tw2+24(FP), R9
+	MOVQ size+32(FP), CX
+	SHLQ $3, CX              // size in bytes
+	MOVQ CX, R10
+	SHRQ $1, R10             // h in bytes
+	MOVQ CX, R11
+	SHLQ $1, R11             // block in bytes
+	XORQ R12, R12            // base byte offset
+
+baseLoop:
+	CMPQ R12, SI
+	JGE  pairDone
+	LEAQ (DI)(R12*1), R13    // block base pointer
+	XORQ R14, R14            // k byte offset
+
+kLoop:
+	CMPQ R14, R10
+	JGE  kDone
+	LEAQ   (R13)(R14*1), AX  // &x[base+k]
+	MOVUPS (AX), X0          // A
+	MOVUPS (AX)(R10*1), X1   // B
+	LEAQ   (AX)(CX*1), BX    // &x[base+k+size]
+	MOVUPS (BX), X2          // C
+	MOVUPS (BX)(R10*1), X3   // D
+	MOVUPS (R8)(R14*1), X8   // W1 pair
+	MOVUPS (R9)(R14*1), X9   // W2 pair
+	// W1 component duplicates
+	MOVAPS X8, X10
+	SHUFPS $0xA0, X10, X10   // [w1r, w1r]
+	MOVAPS X8, X11
+	SHUFPS $0xF5, X11, X11   // [w1i, w1i]
+	// TB = B·W1
+	MOVAPS X1, X4
+	MULPS  X10, X4
+	SHUFPS $0xB1, X1, X1     // B swapped
+	MULPS  X11, X1
+	XORPS  maskEven<>(SB), X1
+	ADDPS  X1, X4            // TB
+	// TD = D·W1
+	MOVAPS X3, X5
+	MULPS  X10, X5
+	SHUFPS $0xB1, X3, X3
+	MULPS  X11, X3
+	XORPS  maskEven<>(SB), X3
+	ADDPS  X3, X5            // TD
+	// A1/B1, C1/D1
+	MOVAPS X0, X6
+	ADDPS  X4, X6            // A1
+	SUBPS  X4, X0            // B1
+	MOVAPS X2, X7
+	ADDPS  X5, X7            // C1
+	SUBPS  X5, X2            // D1
+	// W2 component duplicates
+	MOVAPS X9, X10
+	SHUFPS $0xA0, X10, X10
+	MOVAPS X9, X11
+	SHUFPS $0xF5, X11, X11
+	// TC = C1·W2
+	MOVAPS X7, X4
+	MULPS  X10, X4
+	SHUFPS $0xB1, X7, X7
+	MULPS  X11, X7
+	XORPS  maskEven<>(SB), X7
+	ADDPS  X7, X4            // TC
+	// U = D1·W2
+	MOVAPS X2, X5
+	MULPS  X10, X5
+	SHUFPS $0xB1, X2, X2
+	MULPS  X11, X2
+	XORPS  maskEven<>(SB), X2
+	ADDPS  X2, X5            // U
+	// V = (imag(u), -real(u))
+	SHUFPS $0xB1, X5, X5
+	XORPS  maskOdd<>(SB), X5 // V
+	// stores
+	MOVAPS X6, X7
+	ADDPS  X4, X7
+	MOVUPS X7, (AX)          // A1+TC
+	SUBPS  X4, X6
+	MOVUPS X6, (BX)          // A1-TC
+	MOVAPS X0, X7
+	ADDPS  X5, X7
+	MOVUPS X7, (AX)(R10*1)   // B1+V
+	SUBPS  X5, X0
+	MOVUPS X0, (BX)(R10*1)   // B1-V
+	ADDQ $16, R14
+	JMP  kLoop
+
+kDone:
+	ADDQ R11, R12
+	JMP  baseLoop
+
+pairDone:
+	RET
+
+// func finalStage32(x *complex64, tbl *complex64, half int)
+//
+// The unpaired closing radix-2 stage: t = hi[k]·tbl[k],
+// lo[k] = lo[k]+t, hi[k] = lo[k]-t; two columns per iteration.
+TEXT ·finalStage32(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), DI
+	MOVQ tbl+8(FP), R8
+	MOVQ half+16(FP), SI
+	SHLQ $3, SI              // bytes
+	LEAQ (DI)(SI*1), R9      // hi pointer
+	XORQ AX, AX
+
+fsLoop:
+	CMPQ AX, SI
+	JGE  fsDone
+	MOVUPS (R9)(AX*1), X1    // hi pair
+	MOVUPS (R8)(AX*1), X8    // twiddle pair
+	MOVAPS X8, X10
+	SHUFPS $0xA0, X10, X10
+	MOVAPS X8, X11
+	SHUFPS $0xF5, X11, X11
+	MOVAPS X1, X4
+	MULPS  X10, X4
+	SHUFPS $0xB1, X1, X1
+	MULPS  X11, X1
+	XORPS  maskEven<>(SB), X1
+	ADDPS  X1, X4            // T
+	MOVUPS (DI)(AX*1), X0    // lo pair
+	MOVAPS X0, X2
+	ADDPS  X4, X2
+	MOVUPS X2, (DI)(AX*1)    // lo+T
+	SUBPS  X4, X0
+	MOVUPS X0, (R9)(AX*1)    // lo-T
+	ADDQ $16, AX
+	JMP  fsLoop
+
+fsDone:
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package dsp
+
+// haveAsmButterflies32 is false off amd64 (or under -tags purego): every
+// transform runs through the portable butterfliesGeneric schedule.
+const haveAsmButterflies32 = false
+
+// butterfliesAsm is never reached when haveAsmButterflies32 is false; the
+// stub keeps the dispatch in Plan32.butterflies portable.
+func (p *Plan32) butterfliesAsm(x []complex64) {
+	p.butterfliesGeneric(x, false)
+}

@@ -1,0 +1,305 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// parity32Sizes are the transform lengths the float32/float64 agreement
+// contract is verified over (the documented tolerance covers n ≤ 4096).
+var parity32Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// spectrumScale returns max|X| over a float64 reference spectrum — the
+// normalizer of the documented tolerance contract.
+func spectrumScale(spec []complex128) float64 {
+	scale := 0.0
+	for _, c := range spec {
+		if a := math.Hypot(real(c), imag(c)); a > scale {
+			scale = a
+		}
+	}
+	return scale
+}
+
+func TestPlan32ExecuteMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range parity32Sizes {
+		x64 := make([]complex128, n)
+		x32 := make([]complex64, n)
+		for i := range x64 {
+			re, im := rng.Float64()*2-1, rng.Float64()*2-1
+			x64[i] = complex(re, im)
+			x32[i] = complex(float32(re), float32(im))
+		}
+		NewPlan(n).Execute(x64)
+		NewPlan32(n).Execute(x32)
+		scale := spectrumScale(x64)
+		tol := 1e-4 * scale
+		for i := range x64 {
+			if math.Abs(float64(real(x32[i]))-real(x64[i])) > tol ||
+				math.Abs(float64(imag(x32[i]))-imag(x64[i])) > tol {
+				t.Fatalf("n=%d bin %d: float32 %v, float64 %v (tol %g)", n, i, x32[i], x64[i], tol)
+			}
+		}
+	}
+}
+
+func TestPlan32RealFFTMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range parity32Sizes {
+		x64 := make([]float64, n)
+		x32 := make([]float32, n)
+		for i := range x64 {
+			v := rng.Float64()*2 - 1
+			// Widened float32 samples, so both paths see identical inputs.
+			x64[i] = float64(float32(v))
+			x32[i] = float32(v)
+		}
+		want := NewPlan(n).RealFFTInto(make([]complex128, n/2+1), x64)
+		got := NewPlan32(n).RealFFTInto(make([]complex64, n/2+1), x32)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d bins, want %d", n, len(got), len(want))
+		}
+		tol := 1e-4 * spectrumScale(want)
+		for k := range got {
+			if math.Abs(float64(real(got[k]))-real(want[k])) > tol ||
+				math.Abs(float64(imag(got[k]))-imag(want[k])) > tol {
+				t.Fatalf("n=%d bin %d: float32 %v, float64 %v (tol %g)", n, k, got[k], want[k], tol)
+			}
+		}
+	}
+}
+
+func TestPlan32PowerSpectrumMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range parity32Sizes {
+		x64 := make([]float64, n)
+		x32 := make([]float32, n)
+		for i := range x64 {
+			v := rng.Float64()*2 - 1
+			x64[i] = float64(float32(v))
+			x32[i] = float32(v)
+		}
+		want := NewPlan(n).PowerSpectrumInto(make([]float64, n/2+1), x64)
+		got := NewPlan32(n).PowerSpectrumInto(make([]float32, n/2+1), x32)
+		peak := 0.0
+		for _, p := range want {
+			if p > peak {
+				peak = p
+			}
+		}
+		tol := 2e-4 * peak
+		for k := range got {
+			if math.Abs(float64(got[k])-want[k]) > tol {
+				t.Fatalf("n=%d bin %d: float32 %v, float64 %v (tol %g)", n, k, got[k], want[k], tol)
+			}
+		}
+	}
+}
+
+func TestPlan32PowerSpectrumMatchesRealFFT32(t *testing.T) {
+	// The fused squared unpack must agree with squaring RealFFTInto's
+	// output — same arithmetic, so exactly, not just within tolerance.
+	rng := rand.New(rand.NewSource(24))
+	x := make([]float32, 256)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	p := NewPlan32(256)
+	spec := p.RealFFTInto(make([]complex64, 129), x)
+	pow := p.PowerSpectrumInto(make([]float32, 129), x)
+	for k := range pow {
+		re, im := real(spec[k]), imag(spec[k])
+		if pow[k] != re*re+im*im {
+			t.Fatalf("bin %d: fused %v, squared unpack %v", k, pow[k], re*re+im*im)
+		}
+	}
+}
+
+func TestPlan32InverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p := NewPlan32(256)
+	x := make([]complex64, 256)
+	orig := make([]complex64, 256)
+	for i := range x {
+		x[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		orig[i] = x[i]
+	}
+	p.Execute(x)
+	p.Inverse(x)
+	for i := range x {
+		if math.Abs(float64(real(x[i]-orig[i]))) > 1e-4 || math.Abs(float64(imag(x[i]-orig[i]))) > 1e-4 {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFT32FreeFunctionsMatchPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	x := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	p := NewPlan32(128)
+	wantSpec := p.RealFFTInto(make([]complex64, 65), x)
+	gotSpec := RealFFT32(x)
+	for k := range wantSpec {
+		if gotSpec[k] != wantSpec[k] {
+			t.Fatalf("RealFFT32 bin %d: %v vs %v", k, gotSpec[k], wantSpec[k])
+		}
+	}
+	wantPow := p.PowerSpectrumInto(make([]float32, 65), x)
+	for k, g := range PowerSpectrum32(x) {
+		if g != wantPow[k] {
+			t.Fatalf("PowerSpectrum32 bin %d: %v vs %v", k, g, wantPow[k])
+		}
+	}
+	z := make([]complex64, 64)
+	for i := range z {
+		z[i] = complex(float32(rng.NormFloat64()), 0)
+	}
+	w := append([]complex64(nil), z...)
+	FFT32(z)
+	IFFT32(z)
+	for i := range z {
+		if math.Abs(float64(real(z[i]-w[i]))) > 1e-5 || math.Abs(float64(imag(z[i]-w[i]))) > 1e-5 {
+			t.Fatalf("FFT32/IFFT32 round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPlan32AsmMatchesGeneric(t *testing.T) {
+	// The amd64 vector butterflies perform the scalar schedule's exact
+	// operations, so their output must be bitwise identical to the
+	// portable path — not merely close. Off amd64 (or under -tags purego)
+	// both sides run the generic code and the test is a tautology.
+	rng := rand.New(rand.NewSource(27))
+	for _, n := range parity32Sizes {
+		p := NewPlan32(n)
+		a := make([]complex64, n)
+		b := make([]complex64, n)
+		for i := range a {
+			a[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		}
+		copy(b, a)
+		for i, j := range p.rev { // both paths expect bit-reversed input
+			if int(j) > i {
+				a[i], a[j] = a[j], a[i]
+				b[i], b[j] = b[j], b[i]
+			}
+		}
+		p.butterflies(a, false)
+		p.butterfliesGeneric(b, false)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d point %d: dispatch %v, generic %v (must be bitwise equal)", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPlan32SizeMismatchPanics(t *testing.T) {
+	p := NewPlan32(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched length did not panic")
+		}
+	}()
+	p.Execute(make([]complex64, 4))
+}
+
+func TestPlan32ZeroAllocSteadyState(t *testing.T) {
+	p := NewPlan32(256)
+	x := make([]complex64, 256)
+	r := make([]float32, 256)
+	spec := make([]complex64, 129)
+	pow := make([]float32, 129)
+	p.PowerSpectrumInto(pow, r) // warm the scratch buffer
+	if n := testing.AllocsPerRun(100, func() { p.Execute(x) }); n != 0 {
+		t.Errorf("Execute allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { p.RealFFTInto(spec, r) }); n != 0 {
+		t.Errorf("RealFFTInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { p.PowerSpectrumInto(pow, r) }); n != 0 {
+		t.Errorf("PowerSpectrumInto allocates %v per run", n)
+	}
+}
+
+func benchSignal32(n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(math.Sin(float64(i) / 3))
+	}
+	return x
+}
+
+func BenchmarkRealFFT256Plan32(b *testing.B) {
+	p := NewPlan32(256)
+	x := benchSignal32(256)
+	dst := make([]complex64, 129)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealFFTInto(dst, x)
+	}
+}
+
+func BenchmarkPowerSpectrum256Plan32(b *testing.B) {
+	p := NewPlan32(256)
+	x := benchSignal32(256)
+	dst := make([]float32, 129)
+	p.PowerSpectrumInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PowerSpectrumInto(dst, x)
+	}
+}
+
+func BenchmarkRealFFT4096Plan(b *testing.B) {
+	p := NewPlan(4096)
+	x := benchSignal(4096)
+	dst := make([]complex128, 2049)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealFFTInto(dst, x)
+	}
+}
+
+func BenchmarkRealFFT4096Plan32(b *testing.B) {
+	p := NewPlan32(4096)
+	x := benchSignal32(4096)
+	dst := make([]complex64, 2049)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealFFTInto(dst, x)
+	}
+}
+
+func BenchmarkPowerSpectrum4096Plan(b *testing.B) {
+	p := NewPlan(4096)
+	x := benchSignal(4096)
+	dst := make([]float64, 2049)
+	p.PowerSpectrumInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PowerSpectrumInto(dst, x)
+	}
+}
+
+func BenchmarkPowerSpectrum4096Plan32(b *testing.B) {
+	p := NewPlan32(4096)
+	x := benchSignal32(4096)
+	dst := make([]float32, 2049)
+	p.PowerSpectrumInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PowerSpectrumInto(dst, x)
+	}
+}

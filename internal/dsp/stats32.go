@@ -1,0 +1,262 @@
+package dsp
+
+import (
+	"math"
+
+	"slices"
+)
+
+// This file holds the float32 counterparts of the descriptive statistics
+// and signal-conditioning kernels the deployed spectral path touches.
+// Inputs and outputs are float32 — the working precision of the deployed
+// estimators — while reductions accumulate in float64, which costs nothing
+// on scalar hardware and keeps every statistic within a few float32 ulps
+// of its double-precision counterpart. The float64 forms remain the
+// bitwise reference for the paper artifacts.
+
+// sqrt32 is float32 sqrt; the compiler lowers this pattern to the
+// single-precision hardware instruction.
+func sqrt32(v float32) float32 { return float32(math.Sqrt(float64(v))) }
+
+// Mean32 returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return float32(s / float64(len(x)))
+}
+
+// Variance32 returns the population variance of x (division by n).
+func Variance32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := float64(Mean32(x))
+	var s float64
+	for _, v := range x {
+		d := float64(v) - m
+		s += d * d
+	}
+	return float32(s / float64(len(x)))
+}
+
+// Std32 returns the population standard deviation of x.
+func Std32(x []float32) float32 { return sqrt32(Variance32(x)) }
+
+// Energy32 returns the mean squared value of x. It is on the per-window
+// hot path (RMS32 gates the motion mask), so the float64 reduction runs
+// over two interleaved accumulators to break the serial add chain.
+func Energy32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < len(x); i += 2 {
+		v0, v1 := float64(x[i]), float64(x[i+1])
+		s0 += v0 * v0
+		s1 += v1 * v1
+	}
+	if i < len(x) {
+		v := float64(x[i])
+		s0 += v * v
+	}
+	return float32((s0 + s1) / float64(len(x)))
+}
+
+// RMS32 returns the root of the mean squared value of x.
+func RMS32(x []float32) float32 { return sqrt32(Energy32(x)) }
+
+// MinMax32 returns the minimum and maximum of x, or (0, 0) when empty.
+func MinMax32(x []float32) (min, max float32) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// PeakToPeak32 returns max(x) - min(x).
+func PeakToPeak32(x []float32) float32 {
+	min, max := MinMax32(x)
+	return max - min
+}
+
+// Median32 returns the median of x without modifying it.
+func Median32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	c := append([]float32(nil), x...)
+	slices.Sort(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}
+
+// MAD32 returns the median absolute deviation of x.
+func MAD32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Median32(x)
+	d := make([]float32, len(x))
+	for i, v := range x {
+		a := v - m
+		if a < 0 {
+			a = -a
+		}
+		d[i] = a
+	}
+	return Median32(d)
+}
+
+// Skewness32 returns the sample skewness of x, or 0 when the standard
+// deviation vanishes.
+func Skewness32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	m, sd := float64(Mean32(x)), float64(Std32(x))
+	if sd == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		z := (float64(v) - m) / sd
+		s += z * z * z
+	}
+	return float32(s / float64(len(x)))
+}
+
+// Kurtosis32 returns the excess kurtosis of x (0 for a Gaussian), or 0
+// when the standard deviation vanishes.
+func Kurtosis32(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	m, sd := float64(Mean32(x)), float64(Std32(x))
+	if sd == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		z := (float64(v) - m) / sd
+		s += z * z * z * z
+	}
+	return float32(s/float64(len(x)) - 3)
+}
+
+// ZeroCrossings32 counts sign changes of x around its mean.
+func ZeroCrossings32(x []float32) int {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean32(x)
+	n := 0
+	prev := x[0] - m
+	for _, v := range x[1:] {
+		cur := v - m
+		if (prev < 0 && cur >= 0) || (prev >= 0 && cur < 0) {
+			n++
+		}
+		prev = cur
+	}
+	return n
+}
+
+// DerivativeSignChanges32 counts sign changes of the discrete derivative
+// of x (the Random-Forest front end's "number of peaks").
+func DerivativeSignChanges32(x []float32) int {
+	if len(x) < 3 {
+		return 0
+	}
+	n := 0
+	prev := x[1] - x[0]
+	for i := 2; i < len(x); i++ {
+		cur := x[i] - x[i-1]
+		if (prev < 0 && cur > 0) || (prev > 0 && cur < 0) {
+			n++
+		}
+		if cur != 0 {
+			prev = cur
+		}
+	}
+	return n
+}
+
+// Detrend32 removes the least-squares straight line from x, in place, and
+// returns x. This is a per-window hot kernel, so the fit avoids the
+// float64 Detrend's accumulated index sums: Σi and Σi² have exact closed
+// forms (integers below 2^53), and the two data reductions run over
+// interleaved float64 accumulator pairs so the adds pipeline. The fitted
+// line is subtracted in float32.
+func Detrend32(x []float32) []float32 {
+	n := len(x)
+	if n < 2 {
+		return x
+	}
+	fn := float64(n)
+	sumI := 0.5 * fn * (fn - 1)
+	sumI2 := fn * (fn - 1) * (2*fn - 1) / 6
+	var sumX0, sumX1, sumIX0, sumIX1 float64
+	fi := 0.0
+	i := 0
+	for ; i+1 < n; i += 2 {
+		v0, v1 := float64(x[i]), float64(x[i+1])
+		sumX0 += v0
+		sumX1 += v1
+		sumIX0 += fi * v0
+		sumIX1 += (fi + 1) * v1
+		fi += 2
+	}
+	if i < n {
+		v := float64(x[i])
+		sumX0 += v
+		sumIX0 += fi * v
+	}
+	sumX := sumX0 + sumX1
+	sumIX := sumIX0 + sumIX1
+	den := fn*sumI2 - sumI*sumI
+	if den == 0 {
+		return x
+	}
+	b := float32((fn*sumIX - sumI*sumX) / den)
+	a := float32((sumX - float64(b)*sumI) / fn)
+	// fj counts in float32 (exact for the index range) so the subtraction
+	// loop carries no int→float conversion.
+	fj := float32(0)
+	for j := range x {
+		x[j] -= a + b*fj
+		fj++
+	}
+	return x
+}
+
+// MagnitudeInto32 fills dst with the per-sample Euclidean norm of three
+// float64 component signals, narrowing to float32 on the way in and taking
+// the square root in single precision. It is the float64→float32 boundary
+// of the accelerometer path: raw window axes stay float64, everything
+// downstream of the magnitude runs in float32. dst's length bounds the
+// output; no allocations.
+func MagnitudeInto32(dst []float32, x, y, z []float64) []float32 {
+	for i := range dst {
+		xf, yf, zf := float32(x[i]), float32(y[i]), float32(z[i])
+		dst[i] = sqrt32(xf*xf + yf*yf + zf*zf)
+	}
+	return dst
+}

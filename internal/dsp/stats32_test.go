@@ -1,0 +1,141 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSignal32 returns the same signal in both precisions: float32 values
+// widened to float64, so the two kernel families see identical inputs.
+func randSignal32(rng *rand.Rand, n int) ([]float32, []float64) {
+	x32 := make([]float32, n)
+	x64 := make([]float64, n)
+	for i := range x32 {
+		v := float32(rng.NormFloat64())
+		x32[i] = v
+		x64[i] = float64(v)
+	}
+	return x32, x64
+}
+
+func close32(got float32, want float64, rel float64) bool {
+	return math.Abs(float64(got)-want) <= rel*(1+math.Abs(want))
+}
+
+func TestStats32MatchFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x32, x64 := randSignal32(rng, 257) // odd length exercises both median branches
+	const tol = 1e-5
+	cases := []struct {
+		name string
+		got  float32
+		want float64
+	}{
+		{"Mean", Mean32(x32), Mean(x64)},
+		{"Variance", Variance32(x32), Variance(x64)},
+		{"Std", Std32(x32), Std(x64)},
+		{"Energy", Energy32(x32), Energy(x64)},
+		{"RMS", RMS32(x32), RMS(x64)},
+		{"PeakToPeak", PeakToPeak32(x32), PeakToPeak(x64)},
+		{"Median", Median32(x32), Median(x64)},
+		{"MAD", MAD32(x32), MAD(x64)},
+		{"Skewness", Skewness32(x32), Skewness(x64)},
+		{"Kurtosis", Kurtosis32(x32), Kurtosis(x64)},
+	}
+	for _, c := range cases {
+		if !close32(c.got, c.want, tol) {
+			t.Errorf("%s32 = %v, float64 %v", c.name, c.got, c.want)
+		}
+	}
+	if g, w := ZeroCrossings32(x32), ZeroCrossings(x64); g != w {
+		t.Errorf("ZeroCrossings32 = %d, float64 %d", g, w)
+	}
+	if g, w := DerivativeSignChanges32(x32), DerivativeSignChanges(x64); g != w {
+		t.Errorf("DerivativeSignChanges32 = %d, float64 %d", g, w)
+	}
+	mn32, mx32 := MinMax32(x32)
+	mn64, mx64 := MinMax(x64)
+	if float64(mn32) != mn64 || float64(mx32) != mx64 {
+		t.Errorf("MinMax32 = (%v, %v), float64 (%v, %v)", mn32, mx32, mn64, mx64)
+	}
+}
+
+func TestStats32EmptyAndDegenerate(t *testing.T) {
+	if Mean32(nil) != 0 || Std32(nil) != 0 || RMS32(nil) != 0 || Median32(nil) != 0 ||
+		MAD32(nil) != 0 || Skewness32(nil) != 0 || Kurtosis32(nil) != 0 {
+		t.Error("empty-slice statistics must be 0")
+	}
+	flat := make([]float32, 16)
+	if Skewness32(flat) != 0 || Kurtosis32(flat) != 0 {
+		t.Error("zero-spread higher moments must be 0")
+	}
+	if ZeroCrossings32(flat[:1]) != 0 || DerivativeSignChanges32(flat[:2]) != 0 {
+		t.Error("short-slice counts must be 0")
+	}
+}
+
+func TestHann32MatchesHann(t *testing.T) {
+	for _, n := range []int{1, 2, 33, 256} {
+		w64 := Hann(n)
+		for i, w := range Hann32(n) {
+			if w != float32(w64[i]) {
+				t.Fatalf("n=%d tap %d: Hann32 %v not the rounded float64 %v", n, i, w, w64[i])
+			}
+		}
+	}
+}
+
+func TestDetrend32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x32 := make([]float32, 256)
+	x64 := make([]float64, 256)
+	for i := range x32 {
+		v := float32(rng.NormFloat64() + 0.03*float64(i)) // strong trend
+		x32[i] = v
+		x64[i] = float64(v)
+	}
+	Detrend32(x32)
+	Detrend(x64)
+	for i := range x32 {
+		if math.Abs(float64(x32[i])-x64[i]) > 1e-4 {
+			t.Fatalf("sample %d: float32 %v, float64 %v", i, x32[i], x64[i])
+		}
+	}
+	// Short and constant inputs pass through.
+	short := []float32{3}
+	if Detrend32(short)[0] != 3 {
+		t.Error("length-1 input must be untouched")
+	}
+}
+
+func TestMagnitudeInto32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 256
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	}
+	got := MagnitudeInto32(make([]float32, n), x, y, z)
+	want := Magnitude(x, y, z)
+	for i := range got {
+		if !close32(got[i], want[i], 1e-6) {
+			t.Fatalf("sample %d: float32 %v, float64 %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvert32(t *testing.T) {
+	src := []float64{1, -2.5, math.Pi}
+	dst := Convert32(make([]float32, 8), src)
+	if len(dst) != 3 {
+		t.Fatalf("len %d, want 3", len(dst))
+	}
+	for i, v := range src {
+		if dst[i] != float32(v) {
+			t.Fatalf("element %d: %v, want %v", i, dst[i], float32(v))
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package rf
+
+import (
+	"repro/internal/dalia"
+	"repro/internal/dsp"
+)
+
+// This file is the float32 front end of the feature library: the same
+// statistics as features.go computed by the dsp *32 kernels over a
+// float32 magnitude signal, so a deployed difficulty detector can share
+// one single-precision window pipeline with the float32 spectral
+// estimator. The float64→float32 conversion happens once, inside
+// dsp.MagnitudeInto32; tree thresholds stay float64, so extraction
+// returns float64 feature values. The float64 front end remains the
+// bitwise reference used for training and the committed artifacts
+// (features agree within ~1e-5 relative — see TestFeatures32Parity).
+
+// Extract32 computes one feature over a prepared float32 magnitude
+// signal, mirroring Extract.
+func Extract32(f FeatureID, mag []float32) float64 {
+	switch f {
+	case FeatMean:
+		return float64(dsp.Mean32(mag))
+	case FeatEnergy:
+		return float64(dsp.Energy32(mag))
+	case FeatStd:
+		return float64(dsp.Std32(mag))
+	case FeatNumPeaks:
+		return float64(dsp.DerivativeSignChanges32(mag))
+	case FeatPeakToPeak:
+		return float64(dsp.PeakToPeak32(mag))
+	case FeatRMS:
+		return float64(dsp.RMS32(mag))
+	case FeatZeroCross:
+		return float64(dsp.ZeroCrossings32(mag))
+	case FeatSkewness:
+		return float64(dsp.Skewness32(mag))
+	case FeatKurtosis:
+		return float64(dsp.Kurtosis32(mag))
+	case FeatMAD:
+		return float64(dsp.MAD32(mag))
+	default:
+		return 0
+	}
+}
+
+// WindowMagnitude32Into prepares a window's accelerometer magnitude for
+// float32 feature extraction into the caller's buffer (the allocation-free
+// twin of WindowMagnitude): Euclidean norm of the three axes, narrowed to
+// float32 on the way in, with the gravity trend removed. dst must have
+// capacity for the window length.
+func WindowMagnitude32Into(dst []float32, w *dalia.Window) []float32 {
+	mag := dsp.MagnitudeInto32(dst[:len(w.AccelX)], w.AccelX, w.AccelY, w.AccelZ)
+	return dsp.Detrend32(mag)
+}
+
+// FeatureVector32Into extracts the configured features from a window
+// through the float32 kernels, writing into out (len(feats) values) and
+// using magScratch (window-length capacity) for the magnitude signal.
+// Allocation-free for the paper's feature set (FeatMAD's median kernels
+// allocate in either precision).
+func FeatureVector32Into(out []float64, magScratch []float32, w *dalia.Window, feats []FeatureID) []float64 {
+	mag := WindowMagnitude32Into(magScratch, w)
+	out = out[:len(feats)]
+	for i, f := range feats {
+		out[i] = Extract32(f, mag)
+	}
+	return out
+}
+
+// FeatureVector32 is the allocating convenience form of
+// FeatureVector32Into, mirroring FeatureVector.
+func FeatureVector32(w *dalia.Window, feats []FeatureID) []float64 {
+	return FeatureVector32Into(make([]float64, len(feats)),
+		make([]float32, len(w.AccelX)), w, feats)
+}
+
+// Classify32 returns the predicted activity using the float32 feature
+// front end. Thresholds were learned on float64 features, so isolated
+// windows whose feature values sit within float32 noise of a split can
+// vote differently from Classify — in particular the paper's "mean"
+// feature of a detrended magnitude is numerical noise around zero at any
+// precision. TestClassify32Agreement bounds the effect (≥ 95% agreement
+// on both activity and difficulty rank; ~97% measured).
+func (c *Classifier) Classify32(w *dalia.Window) dalia.Activity {
+	return dalia.Activity(c.PredictVector(FeatureVector32(w, c.feats)))
+}
+
+// DifficultyID32 is the float32-front-end form of DifficultyID.
+func (c *Classifier) DifficultyID32(w *dalia.Window) int {
+	return c.Classify32(w).DifficultyID()
+}

@@ -1,0 +1,32 @@
+package spectral_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dalia"
+	"repro/internal/models/spectral"
+)
+
+// ExampleEstimator_float32 shows the deployed single-precision spectral
+// path: New32 caches a dsp.Plan32 plus float32 scratch on the first
+// window, every later window runs detrend → Hann → power spectrum → band
+// scan entirely in float32 with zero allocations, and the estimates agree
+// with the float64 reference under the documented tolerance.
+func ExampleEstimator_float32() {
+	const n, rate = 256, 32.0
+	w := &dalia.Window{PPG: make([]float64, n), AccelX: make([]float64, n),
+		AccelY: make([]float64, n), AccelZ: make([]float64, n), Rate: rate}
+	for i := range w.PPG {
+		ts := float64(i) / rate
+		w.PPG[i] = math.Sin(2 * math.Pi * 1.5 * ts) // 1.5 Hz = 90 BPM, still wrist
+	}
+
+	e32 := spectral.New32()
+	e64 := spectral.New()
+	hr32 := e32.EstimateHR(w)
+	hr64 := e64.EstimateHR(w)
+	fmt.Printf("float32 %.0f BPM, float64 %.0f BPM, agree: %v\n",
+		hr32, hr64, math.Abs(hr32-hr64) < 1)
+	// Output: float32 90 BPM, float64 90 BPM, agree: true
+}
