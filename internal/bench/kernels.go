@@ -93,6 +93,10 @@ func KernelBenchmarks() []KernelResult {
 	if err != nil {
 		panic("bench: quantizing TimePPG-Big for kernels: " + err.Error())
 	}
+	qsmall, err := tcn.Quantize(small, calib)
+	if err != nil {
+		panic("bench: quantizing TimePPG-Small for kernels: " + err.Error())
+	}
 	const batch = 32
 	inB := tcn.NewBatchTensor(batch, tcn.InputChannels, tcn.InputSamples)
 	for i := range inB.Data {
@@ -120,6 +124,29 @@ func KernelBenchmarks() []KernelResult {
 	}
 	for i := range sb {
 		sb[i] = int8(rng.Intn(255) - 127)
+	}
+
+	// Representative TimePPG-Small final-block GEMM shapes: the underfed
+	// per-sample panel (8 channels × 24 im2col rows × 32 positions) and
+	// the cross-sample panel a 32-window batch packs (n = 32·32).
+	const sm, sk, sn, snWide = 8, 24, 32, 32 * 32
+	ga2 := make([]float32, sm*sk)
+	gb2 := make([]float32, sk*snWide)
+	gc2 := make([]float32, sm*snWide)
+	for i := range ga2 {
+		ga2[i] = float32(rng.NormFloat64())
+	}
+	for i := range gb2 {
+		gb2[i] = float32(rng.NormFloat64())
+	}
+	sa2 := make([]int8, sm*sk)
+	sb2 := make([]int8, sk*snWide)
+	sc2 := make([]int32, sm*snWide)
+	for i := range sa2 {
+		sa2[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range sb2 {
+		sb2[i] = int8(rng.Intn(255) - 127)
 	}
 
 	// Float32 spectral path: the deployed Plan32 kernels next to their
@@ -253,6 +280,15 @@ func KernelBenchmarks() []KernelResult {
 				big.ForwardBatch(inB, outB)
 			}
 		}),
+		// Small-topology batch path: every conv layer rides the wide
+		// cross-sample im2col lowering (TimePPGSmallForward above is the
+		// serial reference).
+		runKernelScaled("TimePPGSmallForwardBatch32/win", batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				small.ForwardBatch(inB, outB)
+			}
+		}),
 		// Int8 deployed path: the serial qConv kernels (the seed-equivalent
 		// reference) against the batched int8 GEMM form.
 		runKernel("QuantBigForward/serial", func(b *testing.B) {
@@ -267,7 +303,23 @@ func KernelBenchmarks() []KernelResult {
 				qbig.ForwardBatch(inB, outB)
 			}
 		}),
-		// Raw GEMM micro-kernels (float32 and CMSIS-NN-style int8).
+		// Deployed int8 TimePPG-Small (the wearable-side network): serial
+		// reference vs the cross-sample batch path.
+		runKernel("QuantSmallForward/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qsmall.Forward(in)
+			}
+		}),
+		runKernelScaled("QuantSmallForwardBatch32/win", batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qsmall.ForwardBatch(inB, outB)
+			}
+		}),
+		// Raw GEMM micro-kernels (float32 and CMSIS-NN-style int8): the
+		// TimePPG-Big conv shape, and the TimePPG-Small final-block shape
+		// per-sample and at the cross-sample width.
 		runKernel("GemmF32_48x144x128", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -278,6 +330,30 @@ func KernelBenchmarks() []KernelResult {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				gemm.S8(sc, sa, sb, gm, gk, gn)
+			}
+		}),
+		runKernel("GemmF32_8x24x32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.F32(gc2, ga2, gb2, sm, sk, sn)
+			}
+		}),
+		runKernel("GemmF32_8x24x1024", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.F32(gc2, ga2, gb2, sm, sk, snWide)
+			}
+		}),
+		runKernel("GemmS8_8x24x32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.S8(sc2, sa2, sb2, sm, sk, sn)
+			}
+		}),
+		runKernel("GemmS8_8x24x1024", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gemm.S8(sc2, sa2, sb2, sm, sk, snWide)
 			}
 		}),
 	}

@@ -16,22 +16,45 @@
 // exactly; the int8 kernels are exact integer arithmetic and
 // order-independent by construction.
 //
-// The kernels are blocked for locality (the unrolled column tile is
-// walked outermost, so the B panel it touches stays cache-resident across
-// all rows of A) and register-unrolled 8- then 4-wide over independent
-// output elements — never over the reduction dimension, which would
-// reassociate the float32 sums and break bitwise reproducibility.
+// # SIMD dispatch
 //
-// Hot paths: the four kernel inner loops are the single hottest code in
-// the repository — every Conv1D and Dense layer of both TCN topologies,
+// On amd64 (unless built with -tags purego) the exported kernels dispatch
+// to SSE2 panel kernels in gemm_amd64.s under one rule: vectorize over
+// INDEPENDENT OUTPUT ELEMENTS, never over the reduction dimension. Each
+// XMM lane owns one output column's accumulator; per k step the float32
+// panels broadcast one A operand and run exactly one MULPS and one ADDPS
+// per accumulator register — multiply-then-add with per-operation IEEE
+// rounding, no FMA, no horizontal sums — so every lane walks the same
+// ascending-k chain as the scalar loop and the results stay bitwise
+// identical (fuzzed against the generic kernels across ragged shapes in
+// fuzz_test.go). The float32 panels come 16-, 8- and 4-columns wide with
+// sub-4 tails finished by the scalar loop; the int8 panel is 16 wide and
+// may fold k-pairs with PMADDWD dual-MACs, which integer exactness (and
+// associative two's-complement addition) makes unobservable.
+//
+// The NT kernels reach the same panels by packing B into a pooled k×n
+// Bᵀ panel first (pack.go): the transpose changes which operand is
+// contiguous, not the per-element reduction order, so bitwise equality
+// carries over. Packing is gated on m ≥ ntPackMinM — below that the k·n
+// transpose cannot amortize and the scalar dot-product form is already
+// the right shape. The layout is deliberately ISA-agnostic: an arm64
+// NEON port implements the same panels behind gemm_noasm.go's build tags
+// without touching callers (float32 lanes carry the identical chain on
+// any IEEE vector unit).
+//
+// Hot paths: the panel inner loops are the single hottest code in the
+// repository — every Conv1D and Dense layer of both TCN topologies,
 // float32 and int8, serial-equivalent batch inference and training
-// backprop all funnel through them via im2col (internal/models/tcn). They
-// sit at the scalar FP ceiling (~1 MAC/cycle); SIMD/assembly is the
-// ROADMAP follow-on.
+// backprop all funnel through them via im2col (internal/models/tcn),
+// per-sample for TimePPG-Big and packed across the batch for
+// TimePPG-Small's small panels (the cross-sample lowering; see
+// tcn.crossSampleMaxPanel).
 //
 // BENCH kernels: GemmF32_48x144x128 and GemmS8_48x144x128 measure the raw
-// kernels at a representative TimePPG-Big convolution shape;
-// TimePPGBigForwardBatch32/win and QuantBigForwardBatch32/win measure
-// them through the full network against the serial references
+// kernels at a representative TimePPG-Big convolution shape,
+// GemmF32_8x24x{32,1024} and GemmS8_8x24x{32,1024} at the TimePPG-Small
+// final-block shape per-sample and at the cross-sample width;
+// TimePPG{Small,Big}ForwardBatch32/win and Quant{Small,Big}ForwardBatch32/win
+// measure them through the full networks against the serial references
 // (BENCH_*.json, written by chrisbench -json).
 package gemm

@@ -1,5 +1,19 @@
 package gemm
 
+// The four exported kernels dispatch between the SSE2 panel kernels in
+// gemm_amd64.s (amd64, unless built with -tags purego) and the portable
+// scalar implementations in generic.go. Both paths accumulate every output
+// element in the same bias-seeded ascending-k chain, so the dispatch is
+// invisible: float32 results are bitwise identical either way, int8
+// results exact-integer equal (fuzzed in fuzz_test.go).
+
+// ntPackMinM gates the packed-Bᵀ asm path of the NT kernels: transposing B
+// into the k-major panel the column kernels consume costs k·n moves
+// against m·k·n MACs, so it only pays once the panel is reused across a
+// few rows of A. Below the threshold the dot-product scalar form is
+// already the right shape.
+const ntPackMinM = 4
+
 // F32 computes C += A·B with A (m×k), B (k×n) and C (m×n), all row-major
 // and dense (no leading-dimension padding). Per output element the k
 // products are accumulated in ascending-k order on top of the existing C
@@ -11,115 +25,37 @@ func F32(c, a, b []float32, m, k, n int) {
 	_ = a[m*k-1]
 	_ = b[k*n-1]
 	_ = c[m*n-1]
-	j := 0
-	for ; j+8 <= n; j += 8 {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			ci := i*n + j
-			cr := c[ci : ci+8 : ci+8]
-			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
-			c4, c5, c6, c7 := cr[4], cr[5], cr[6], cr[7]
-			bi := j
-			for p := 0; p < k; p++ {
-				av := ar[p]
-				br := b[bi : bi+8 : bi+8]
-				c0 += av * br[0]
-				c1 += av * br[1]
-				c2 += av * br[2]
-				c3 += av * br[3]
-				c4 += av * br[4]
-				c5 += av * br[5]
-				c6 += av * br[6]
-				c7 += av * br[7]
-				bi += n
-			}
-			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
-			cr[4], cr[5], cr[6], cr[7] = c4, c5, c6, c7
-		}
+	if haveAsmKernels && n >= 4 {
+		f32Asm(c, a, b, m, k, n)
+		return
 	}
-	for ; j+4 <= n; j += 4 {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			ci := i*n + j
-			cr := c[ci : ci+4 : ci+4]
-			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
-			bi := j
-			for p := 0; p < k; p++ {
-				av := ar[p]
-				br := b[bi : bi+4 : bi+4]
-				c0 += av * br[0]
-				c1 += av * br[1]
-				c2 += av * br[2]
-				c3 += av * br[3]
-				bi += n
-			}
-			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
-		}
-	}
-	for ; j < n; j++ {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			acc := c[i*n+j]
-			bi := j
-			for p := 0; p < k; p++ {
-				acc += ar[p] * b[bi]
-				bi += n
-			}
-			c[i*n+j] = acc
-		}
-	}
+	f32Generic(c, a, b, m, k, n, 0)
 }
 
 // F32NT computes C += A·Bᵀ with A (m×k), B (n×k) and C (m×n), all
-// row-major: C[i][j] += Σ_p A[i][p]·B[j][p]. The reduction runs over
-// contiguous rows of both operands (the dot-product form), unrolled four
-// rows of A at a time so each streamed B row is reused across four
-// independent accumulators.
+// row-major: C[i][j] += Σ_p A[i][p]·B[j][p]. On amd64 large-enough shapes
+// transpose B into a pooled k×n panel and run the same vector kernels as
+// F32 — the per-element reduction order is unchanged, so results stay
+// bitwise identical to the scalar dot-product form.
 func F32NT(c, a, b []float32, m, k, n int) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return
 	}
-	i := 0
-	for ; i+4 <= m; i += 4 {
-		a0 := a[i*k : i*k+k]
-		a1 := a[(i+1)*k : (i+1)*k+k]
-		a2 := a[(i+2)*k : (i+2)*k+k]
-		a3 := a[(i+3)*k : (i+3)*k+k]
-		for j := 0; j < n; j++ {
-			br := b[j*k : j*k+k]
-			c0 := c[i*n+j]
-			c1 := c[(i+1)*n+j]
-			c2 := c[(i+2)*n+j]
-			c3 := c[(i+3)*n+j]
-			for p, bv := range br {
-				c0 += a0[p] * bv
-				c1 += a1[p] * bv
-				c2 += a2[p] * bv
-				c3 += a3[p] * bv
-			}
-			c[i*n+j] = c0
-			c[(i+1)*n+j] = c1
-			c[(i+2)*n+j] = c2
-			c[(i+3)*n+j] = c3
-		}
+	_ = a[m*k-1]
+	_ = b[n*k-1]
+	_ = c[m*n-1]
+	if haveAsmKernels && m >= ntPackMinM && n >= 4 {
+		f32NTAsm(c, a, b, m, k, n)
+		return
 	}
-	for ; i < m; i++ {
-		ar := a[i*k : i*k+k]
-		for j := 0; j < n; j++ {
-			br := b[j*k : j*k+k]
-			acc := c[i*n+j]
-			for p, bv := range br {
-				acc += ar[p] * bv
-			}
-			c[i*n+j] = acc
-		}
-	}
+	f32NTGeneric(c, a, b, m, k, n)
 }
 
 // S8 computes C += A·B with int8 operands A (m×k), B (k×n) and int32
 // accumulators C (m×n), row-major — the widened-accumulator shape of
-// CMSIS-NN int8 convolution kernels. Integer accumulation is exact, so the
-// result is independent of unrolling or blocking.
+// CMSIS-NN int8 convolution kernels. Integer accumulation is exact (and
+// two's-complement addition associative), so the result is independent of
+// unrolling, blocking, or the dual-MAC pairing the asm kernel uses.
 func S8(c []int32, a, b []int8, m, k, n int) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return
@@ -127,106 +63,27 @@ func S8(c []int32, a, b []int8, m, k, n int) {
 	_ = a[m*k-1]
 	_ = b[k*n-1]
 	_ = c[m*n-1]
-	j := 0
-	for ; j+8 <= n; j += 8 {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			ci := i*n + j
-			cr := c[ci : ci+8 : ci+8]
-			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
-			c4, c5, c6, c7 := cr[4], cr[5], cr[6], cr[7]
-			bi := j
-			for p := 0; p < k; p++ {
-				av := int32(ar[p])
-				br := b[bi : bi+8 : bi+8]
-				c0 += av * int32(br[0])
-				c1 += av * int32(br[1])
-				c2 += av * int32(br[2])
-				c3 += av * int32(br[3])
-				c4 += av * int32(br[4])
-				c5 += av * int32(br[5])
-				c6 += av * int32(br[6])
-				c7 += av * int32(br[7])
-				bi += n
-			}
-			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
-			cr[4], cr[5], cr[6], cr[7] = c4, c5, c6, c7
-		}
+	if haveAsmKernels && n >= 16 {
+		s8Asm(c, a, b, m, k, n)
+		return
 	}
-	for ; j+4 <= n; j += 4 {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			ci := i*n + j
-			cr := c[ci : ci+4 : ci+4]
-			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
-			bi := j
-			for p := 0; p < k; p++ {
-				av := int32(ar[p])
-				br := b[bi : bi+4 : bi+4]
-				c0 += av * int32(br[0])
-				c1 += av * int32(br[1])
-				c2 += av * int32(br[2])
-				c3 += av * int32(br[3])
-				bi += n
-			}
-			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
-		}
-	}
-	for ; j < n; j++ {
-		for i := 0; i < m; i++ {
-			ar := a[i*k : i*k+k]
-			acc := c[i*n+j]
-			bi := j
-			for p := 0; p < k; p++ {
-				acc += int32(ar[p]) * int32(b[bi])
-				bi += n
-			}
-			c[i*n+j] = acc
-		}
-	}
+	s8Generic(c, a, b, m, k, n, 0)
 }
 
 // S8NT computes C += A·Bᵀ with int8 operands A (m×k), B (n×k) and int32
 // accumulators C (m×n), row-major: the batched fully-connected shape
-// (activations × weight-rows).
+// (activations × weight-rows). Like F32NT, large shapes run through a
+// pooled Bᵀ panel on amd64.
 func S8NT(c []int32, a, b []int8, m, k, n int) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return
 	}
-	i := 0
-	for ; i+4 <= m; i += 4 {
-		a0 := a[i*k : i*k+k]
-		a1 := a[(i+1)*k : (i+1)*k+k]
-		a2 := a[(i+2)*k : (i+2)*k+k]
-		a3 := a[(i+3)*k : (i+3)*k+k]
-		for j := 0; j < n; j++ {
-			br := b[j*k : j*k+k]
-			c0 := c[i*n+j]
-			c1 := c[(i+1)*n+j]
-			c2 := c[(i+2)*n+j]
-			c3 := c[(i+3)*n+j]
-			for p, bv := range br {
-				w := int32(bv)
-				c0 += int32(a0[p]) * w
-				c1 += int32(a1[p]) * w
-				c2 += int32(a2[p]) * w
-				c3 += int32(a3[p]) * w
-			}
-			c[i*n+j] = c0
-			c[(i+1)*n+j] = c1
-			c[(i+2)*n+j] = c2
-			c[(i+3)*n+j] = c3
-		}
+	_ = a[m*k-1]
+	_ = b[n*k-1]
+	_ = c[m*n-1]
+	if haveAsmKernels && m >= ntPackMinM && n >= 16 {
+		s8NTAsm(c, a, b, m, k, n)
+		return
 	}
-	for ; i < m; i++ {
-		ar := a[i*k : i*k+k]
-		for j := 0; j < n; j++ {
-			br := b[j*k : j*k+k]
-			acc := c[i*n+j]
-			for p, bv := range br {
-				acc += int32(ar[p]) * int32(bv)
-			}
-			c[i*n+j] = acc
-		}
-	}
+	s8NTGeneric(c, a, b, m, k, n)
 }

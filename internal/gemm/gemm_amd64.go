@@ -1,0 +1,86 @@
+//go:build amd64 && !purego
+
+package gemm
+
+// haveAsmKernels gates the SSE2 panel kernels in gemm_amd64.s. SSE2 is
+// part of the amd64 baseline (GOAMD64=v1), so no runtime feature check is
+// needed; build with -tags purego to force the portable scalar path.
+const haveAsmKernels = true
+
+// f32Panel16 computes a 16-column panel: for each of the m rows,
+// c[i·n+0..16) += Σ_p a[i·k+p] · b[p·n+0..16), the p products added one
+// vector op at a time in ascending-p order (MULPS+ADDPS, no FMA), so each
+// output lane reproduces the scalar chain bitwise. Pointers address the
+// panel's first column; strides stay the full row lengths.
+//
+//go:noescape
+func f32Panel16(c, a, b *float32, m, k, n int)
+
+// f32Panel8 is the 8-column form of f32Panel16.
+//
+//go:noescape
+func f32Panel8(c, a, b *float32, m, k, n int)
+
+// f32Panel4 is the 4-column form of f32Panel16.
+//
+//go:noescape
+func f32Panel4(c, a, b *float32, m, k, n int)
+
+// s8Panel16 computes a 16-column int8 panel with exact int32 accumulators:
+// PMADDWD folds k-pairs (a[p]·b[p][j] + a[p+1]·b[p+1][j]) in one dual-MAC
+// per lane — int16 products of int8 operands are exact and two's-complement
+// int32 addition is associative, so the pairing cannot change the result.
+// An odd final k runs with a zero partner.
+//
+//go:noescape
+func s8Panel16(c *int32, a, b *int8, m, k, n int)
+
+// f32Asm runs the F32 update through the widest applicable column panels,
+// finishing sub-4-column tails with the scalar reference loop. Requires
+// m, k, n ≥ 1 (the exported wrapper's degenerate-shape guard).
+func f32Asm(c, a, b []float32, m, k, n int) {
+	j := 0
+	for ; j+16 <= n; j += 16 {
+		f32Panel16(&c[j], &a[0], &b[j], m, k, n)
+	}
+	for ; j+8 <= n; j += 8 {
+		f32Panel8(&c[j], &a[0], &b[j], m, k, n)
+	}
+	for ; j+4 <= n; j += 4 {
+		f32Panel4(&c[j], &a[0], &b[j], m, k, n)
+	}
+	if j < n {
+		f32Generic(c, a, b, m, k, n, j)
+	}
+}
+
+// s8Asm runs the S8 update through 16-column panels, finishing the
+// remaining columns with the scalar reference loop.
+func s8Asm(c []int32, a, b []int8, m, k, n int) {
+	j := 0
+	for ; j+16 <= n; j += 16 {
+		s8Panel16(&c[j], &a[0], &b[j], m, k, n)
+	}
+	if j < n {
+		s8Generic(c, a, b, m, k, n, j)
+	}
+}
+
+// f32NTAsm computes C += A·Bᵀ by packing B (n×k) into a pooled k×n panel
+// and running the plain column kernels over it: per output element the
+// reduction still walks p ascending, so the result is bitwise identical
+// to the scalar dot-product form.
+func f32NTAsm(c, a, b []float32, m, k, n int) {
+	bt := f32PackPool.get(k * n)
+	transposeInto(bt, b, n, k)
+	f32Asm(c, a, bt, m, k, n)
+	f32PackPool.put(bt)
+}
+
+// s8NTAsm is the int8 form of f32NTAsm.
+func s8NTAsm(c []int32, a, b []int8, m, k, n int) {
+	bt := s8PackPool.get(k * n)
+	transposeInto(bt, b, n, k)
+	s8Asm(c, a, bt, m, k, n)
+	s8PackPool.put(bt)
+}

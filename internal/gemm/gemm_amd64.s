@@ -1,0 +1,302 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 panel kernels for the GEMM micro-kernels. All four exported
+// kernels funnel into these panels (the NT forms via a packed Bᵀ panel),
+// and every panel vectorizes over INDEPENDENT OUTPUT COLUMNS only: one
+// XMM lane owns one output element, the reduction dimension k advances
+// scalar-wise through the loop. Per k step the float32 panels run exactly
+// one MULPS and one ADDPS per accumulator register — the same
+// multiply-then-add with per-operation IEEE rounding (no FMA) as the
+// scalar reference — so each lane reproduces the ascending-k accumulation
+// chain of generic.go bitwise. Lanes never sum across k (that would
+// reassociate the float32 chain), which is also why no horizontal
+// operations appear anywhere in this file.
+//
+// The int8 panel is allowed one k-wise fusion the float panels are not:
+// PMADDWL folds the pair a[p]·b[p][j] + a[p+1]·b[p+1][j] into one
+// dual-MAC. int16 products of int8 operands are exact (|a·b| ≤ 16 384)
+// and two's-complement int32 addition is associative even on wraparound,
+// so the pairing is unobservable in the result.
+//
+// Register convention shared by all panels:
+//   DI  c panel pointer (first column of the current row)
+//   SI  a row pointer
+//   DX  b panel base (first column, row 0)
+//   R8  remaining rows (m countdown)
+//   R9  k
+//   R10 b row stride in bytes
+//   R11 c row stride in bytes (f32: == R10)
+//   R12 a row stride in bytes
+//   BX / CX (or R14) row-local b / a cursors
+
+// func f32Panel16(c, a, b *float32, m, k, n int)
+TEXT ·f32Panel16(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10             // row stride of b and c, bytes
+	MOVQ R9, R12
+	SHLQ $2, R12             // row stride of a, bytes
+
+f16Row:
+	TESTQ R8, R8
+	JZ    f16Done
+	MOVUPS (DI), X0          // 16 accumulators, seeded from C
+	MOVUPS 16(DI), X1
+	MOVUPS 32(DI), X2
+	MOVUPS 48(DI), X3
+	MOVQ   DX, BX            // b cursor: row p of the panel
+	MOVQ   SI, CX            // a cursor
+	LEAQ   (SI)(R12*1), R13  // a row end
+
+f16K:
+	CMPQ   CX, R13
+	JGE    f16KDone
+	MOVSS  (CX), X4
+	SHUFPS $0x00, X4, X4     // broadcast a[i][p]
+	MOVUPS (BX), X5
+	MOVUPS 16(BX), X6
+	MOVUPS 32(BX), X7
+	MOVUPS 48(BX), X8
+	MULPS  X4, X5
+	MULPS  X4, X6
+	MULPS  X4, X7
+	MULPS  X4, X8
+	ADDPS  X5, X0
+	ADDPS  X6, X1
+	ADDPS  X7, X2
+	ADDPS  X8, X3
+	ADDQ   $4, CX
+	ADDQ   R10, BX
+	JMP    f16K
+
+f16KDone:
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	ADDQ   R10, DI
+	ADDQ   R12, SI
+	DECQ   R8
+	JMP    f16Row
+
+f16Done:
+	RET
+
+// func f32Panel8(c, a, b *float32, m, k, n int)
+TEXT ·f32Panel8(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10
+	MOVQ R9, R12
+	SHLQ $2, R12
+
+f8Row:
+	TESTQ R8, R8
+	JZ    f8Done
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MOVQ   DX, BX
+	MOVQ   SI, CX
+	LEAQ   (SI)(R12*1), R13
+
+f8K:
+	CMPQ   CX, R13
+	JGE    f8KDone
+	MOVSS  (CX), X4
+	SHUFPS $0x00, X4, X4
+	MOVUPS (BX), X5
+	MOVUPS 16(BX), X6
+	MULPS  X4, X5
+	MULPS  X4, X6
+	ADDPS  X5, X0
+	ADDPS  X6, X1
+	ADDQ   $4, CX
+	ADDQ   R10, BX
+	JMP    f8K
+
+f8KDone:
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	ADDQ   R10, DI
+	ADDQ   R12, SI
+	DECQ   R8
+	JMP    f8Row
+
+f8Done:
+	RET
+
+// func f32Panel4(c, a, b *float32, m, k, n int)
+TEXT ·f32Panel4(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10
+	MOVQ R9, R12
+	SHLQ $2, R12
+
+f4Row:
+	TESTQ R8, R8
+	JZ    f4Done
+	MOVUPS (DI), X0
+	MOVQ   DX, BX
+	MOVQ   SI, CX
+	LEAQ   (SI)(R12*1), R13
+
+f4K:
+	CMPQ   CX, R13
+	JGE    f4KDone
+	MOVSS  (CX), X4
+	SHUFPS $0x00, X4, X4
+	MOVUPS (BX), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	ADDQ   $4, CX
+	ADDQ   R10, BX
+	JMP    f4K
+
+f4KDone:
+	MOVUPS X0, (DI)
+	ADDQ   R10, DI
+	ADDQ   R12, SI
+	DECQ   R8
+	JMP    f4Row
+
+f4Done:
+	RET
+
+// func s8Panel16(c *int32, a, b *int8, m, k, n int)
+//
+// Per k pair (p, p+1): the two b rows are loaded as 16 int8 each,
+// sign-extended to int16 (PUNPCK?BW with itself + PSRAW $8), interleaved
+// per column into [b_p[j], b_p+1[j]] word pairs, and PMADDWL'd against the
+// broadcast pair [a[p], a[p+1]] — one exact dual-MAC per output lane. An
+// odd trailing k runs the same path with a zeroed partner row.
+TEXT ·s8Panel16(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10       // b row stride: n bytes
+	MOVQ R10, R11
+	SHLQ $2, R11             // c row stride: 4n bytes
+	MOVQ R9, R12             // a row stride: k bytes
+
+s8Row:
+	TESTQ R8, R8
+	JZ    s8Done
+	MOVOU (DI), X0           // 16 int32 accumulators, seeded from C
+	MOVOU 16(DI), X1
+	MOVOU 32(DI), X2
+	MOVOU 48(DI), X3
+	MOVQ  DX, BX             // b cursor
+	MOVQ  SI, R14            // a cursor
+	MOVQ  R9, R15
+	SHRQ  $1, R15            // pair count
+
+s8Pairs:
+	TESTQ R15, R15
+	JZ    s8PairsDone
+
+	// broadcast the dword [a[p] (low word) | a[p+1] (high word)]
+	MOVBQSX (R14), AX
+	ANDL    $0xFFFF, AX
+	MOVBQSX 1(R14), CX
+	SHLL    $16, CX
+	ORL     CX, AX
+	MOVQ    AX, X4
+	PSHUFL  $0x00, X4, X4
+
+	// b row p → words: X5 = j0..7, X7 = j8..15
+	MOVOU     (BX), X5
+	MOVOU     X5, X7
+	PUNPCKLBW X5, X5
+	PSRAW     $8, X5
+	PUNPCKHBW X7, X7
+	PSRAW     $8, X7
+
+	// b row p+1 → words: X6 = j0..7, X9 = j8..15
+	MOVOU     (BX)(R10*1), X6
+	MOVOU     X6, X9
+	PUNPCKLBW X6, X6
+	PSRAW     $8, X6
+	PUNPCKHBW X9, X9
+	PSRAW     $8, X9
+
+	// interleave the two rows per column into word pairs, then dual-MAC
+	MOVOU     X5, X10
+	PUNPCKLWL X6, X10        // j0..3:  [b_p, b_p+1] pairs
+	PUNPCKHWL X6, X5         // j4..7
+	MOVOU     X7, X11
+	PUNPCKLWL X9, X11        // j8..11
+	PUNPCKHWL X9, X7         // j12..15
+	PMADDWL   X4, X10
+	PADDL     X10, X0
+	PMADDWL   X4, X5
+	PADDL     X5, X1
+	PMADDWL   X4, X11
+	PADDL     X11, X2
+	PMADDWL   X4, X7
+	PADDL     X7, X3
+
+	ADDQ $2, R14
+	LEAQ (BX)(R10*2), BX
+	DECQ R15
+	JMP  s8Pairs
+
+s8PairsDone:
+	TESTQ $1, R9
+	JZ    s8Store
+
+	// odd k tail: same dual-MAC with a zeroed partner row
+	MOVBQSX (R14), AX
+	ANDL    $0xFFFF, AX
+	MOVQ    AX, X4
+	PSHUFL  $0x00, X4, X4    // pairs [a[p], 0]
+	MOVOU     (BX), X5
+	MOVOU     X5, X7
+	PUNPCKLBW X5, X5
+	PSRAW     $8, X5
+	PUNPCKHBW X7, X7
+	PSRAW     $8, X7
+	PXOR      X6, X6
+	MOVOU     X5, X10
+	PUNPCKLWL X6, X10
+	PUNPCKHWL X6, X5
+	MOVOU     X7, X11
+	PUNPCKLWL X6, X11
+	PUNPCKHWL X6, X7
+	PMADDWL   X4, X10
+	PADDL     X10, X0
+	PMADDWL   X4, X5
+	PADDL     X5, X1
+	PMADDWL   X4, X11
+	PADDL     X11, X2
+	PMADDWL   X4, X7
+	PADDL     X7, X3
+
+s8Store:
+	MOVOU X0, (DI)
+	MOVOU X1, 16(DI)
+	MOVOU X2, 32(DI)
+	MOVOU X3, 48(DI)
+	ADDQ  R11, DI
+	ADDQ  R12, SI
+	DECQ  R8
+	JMP   s8Row
+
+s8Done:
+	RET

@@ -188,9 +188,24 @@ func TestKernelsZeroAlloc(t *testing.T) {
 // J = 48·3 taps, 128 output positions.
 func benchShape() (m, k, n int) { return 48, 144, 128 }
 
+// Representative TimePPG-Small final-block shapes: 8 output channels,
+// J = 8·3 taps, and either one sample's 32 output positions (the
+// underfed per-sample panel) or a 32-window cross-sample panel.
+func benchShapeSmall() (m, k, n int)     { return 8, 24, 32 }
+func benchShapeSmallWide() (m, k, n int) { return 8, 24, 32 * 32 }
+
 func BenchmarkGemmF32(b *testing.B) {
-	rng := rand.New(rand.NewSource(6))
 	m, k, n := benchShape()
+	benchGemmF32At(b, m, k, n)
+}
+
+func BenchmarkGemmS8(b *testing.B) {
+	m, k, n := benchShape()
+	benchGemmS8At(b, m, k, n)
+}
+
+func benchGemmF32At(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(6))
 	a := randF32(rng, m*k)
 	bb := randF32(rng, k*n)
 	c := make([]float32, m*n)
@@ -202,9 +217,8 @@ func BenchmarkGemmF32(b *testing.B) {
 	}
 }
 
-func BenchmarkGemmS8(b *testing.B) {
+func benchGemmS8At(b *testing.B, m, k, n int) {
 	rng := rand.New(rand.NewSource(7))
-	m, k, n := benchShape()
 	a := randS8(rng, m*k)
 	bb := randS8(rng, k*n)
 	c := make([]int32, m*n)
@@ -214,6 +228,29 @@ func BenchmarkGemmS8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		S8(c, a, bb, m, k, n)
 	}
+}
+
+// The Small-topology pair: the per-sample panel the scalar kernels were
+// underfed by, and the cross-sample panel the wide im2col lowering feeds
+// the vector kernels with.
+func BenchmarkGemmF32Small(b *testing.B) {
+	m, k, n := benchShapeSmall()
+	benchGemmF32At(b, m, k, n)
+}
+
+func BenchmarkGemmF32SmallWide(b *testing.B) {
+	m, k, n := benchShapeSmallWide()
+	benchGemmF32At(b, m, k, n)
+}
+
+func BenchmarkGemmS8Small(b *testing.B) {
+	m, k, n := benchShapeSmall()
+	benchGemmS8At(b, m, k, n)
+}
+
+func BenchmarkGemmS8SmallWide(b *testing.B) {
+	m, k, n := benchShapeSmallWide()
+	benchGemmS8At(b, m, k, n)
 }
 
 func BenchmarkGemmF32NT(b *testing.B) {

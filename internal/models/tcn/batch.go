@@ -79,55 +79,86 @@ func ensureSlice[T any](buf *[]T, n int) []T {
 	return *buf
 }
 
+// im2colRow fills one tap row of an im2col panel: row[t] =
+// xRow[t·stride + off], or 0 where the tap reads outside [0, inT) — for
+// both element types the exact additive identity. Generic so the float32
+// and int8 paths share one copy of the clamped-range logic.
+func im2colRow[T int8 | float32](row, xRow []T, off, stride, inT, outT int) {
+	t0, t1 := tapRange(off, stride, inT, outT)
+	if t1 < t0 {
+		for t := range row {
+			row[t] = 0
+		}
+		return
+	}
+	for t := 0; t < t0; t++ {
+		row[t] = 0
+	}
+	for t := t1 + 1; t < outT; t++ {
+		row[t] = 0
+	}
+	if stride == 1 {
+		copy(row[t0:t1+1], xRow[t0+off:t1+off+1])
+	} else {
+		src := t0*stride + off
+		for t := t0; t <= t1; t++ {
+			row[t] = xRow[src]
+			src += stride
+		}
+	}
+}
+
 // im2col packs one C×T sample (xs, channel-major) into col as a J×outT
 // row-major matrix with J = inC·kernel: col[(ci·K+k)·outT+t] holds
-// xs[ci·inT + t·stride + k·dilation − padL], or 0 where the tap reads
-// outside [0, inT) — for both element types the exact additive identity.
-// Rows are ordered (ci, k) ascending — the serial kernels' accumulation
-// order — so a GEMM over col reproduces them bitwise. Generic so the
-// float32 and int8 paths share one copy of the clamped-range logic.
+// xs[ci·inT + t·stride + k·dilation − padL]. Rows are ordered (ci, k)
+// ascending — the serial kernels' accumulation order — so a GEMM over col
+// reproduces them bitwise.
 func im2col[T int8 | float32](col, xs []T, inC, inT, kernel, dilation, stride, padL, outT int) {
 	j := 0
 	for ci := 0; ci < inC; ci++ {
 		xRow := xs[ci*inT : (ci+1)*inT]
 		for k := 0; k < kernel; k++ {
-			row := col[j*outT : (j+1)*outT]
+			im2colRow(col[j*outT:(j+1)*outT], xRow, k*dilation-padL, stride, inT, outT)
 			j++
-			off := k*dilation - padL
-			t0, t1 := tapRange(off, stride, inT, outT)
-			if t1 < t0 {
-				for t := range row {
-					row[t] = 0
-				}
-				continue
-			}
-			for t := 0; t < t0; t++ {
-				row[t] = 0
-			}
-			for t := t1 + 1; t < outT; t++ {
-				row[t] = 0
-			}
-			if stride == 1 {
-				copy(row[t0:t1+1], xRow[t0+off:t1+off+1])
-			} else {
-				src := t0*stride + off
-				for t := t0; t <= t1; t++ {
-					row[t] = xRow[src]
-					src += stride
-				}
+		}
+	}
+}
+
+// im2colWide packs the patches of ALL N samples (data, sample-major with
+// inC×inT per sample) into one J×(N·outT) row-major panel: tap row j
+// holds every sample's outT-column block in batch order,
+// col[j·wide + n·outT + t]. One GEMM over the wide panel computes the
+// whole batch's convolution while each output element keeps the exact
+// per-sample accumulation chain (rows are still (ci, k) ascending, and
+// column position never enters the reduction). This is the cross-sample
+// lowering that keeps TimePPG-Small's tiny per-layer matrices from
+// underfeeding the vector kernels.
+func im2colWide[T int8 | float32](col, data []T, N, inC, inT, kernel, dilation, stride, padL, outT int) {
+	wide := N * outT
+	sz := inC * inT
+	for n := 0; n < N; n++ {
+		xs := data[n*sz : (n+1)*sz]
+		j := 0
+		for ci := 0; ci < inC; ci++ {
+			xRow := xs[ci*inT : (ci+1)*inT]
+			for k := 0; k < kernel; k++ {
+				im2colRow(col[j*wide+n*outT:j*wide+(n+1)*outT], xRow, k*dilation-padL, stride, inT, outT)
+				j++
 			}
 		}
 	}
 }
 
-// col2imF32 scatter-adds a J×outT gradient matrix (the layout im2colF32
-// packs) back into one C×T sample gradient. gxs must be pre-zeroed.
-func col2imF32(gxs, dcol []float32, inC, inT, kernel, dilation, stride, padL, outT int) {
+// col2imF32 scatter-adds a J×outT gradient matrix back into one C×T
+// sample gradient. ld is the panel's row stride in elements: outT for a
+// per-sample panel, N·outT when dcol points at one sample's column block
+// inside a wide cross-sample panel. gxs must be pre-zeroed.
+func col2imF32(gxs, dcol []float32, inC, inT, kernel, dilation, stride, padL, outT, ld int) {
 	j := 0
 	for ci := 0; ci < inC; ci++ {
 		gxRow := gxs[ci*inT : (ci+1)*inT]
 		for k := 0; k < kernel; k++ {
-			row := dcol[j*outT : (j+1)*outT]
+			row := dcol[j*ld : j*ld+outT]
 			j++
 			off := k*dilation - padL
 			t0, t1 := tapRange(off, stride, inT, outT)

@@ -109,6 +109,65 @@ func TestConv1DBackwardBatchCloseToSerial(t *testing.T) {
 	}
 }
 
+// TestConvBatchWideMatchesPerSampleBitwise pins the cross-sample lowering
+// to the per-sample accumulation chain, forward AND backward: for shapes
+// under the wide-path threshold, an N-sample batch must reproduce N
+// single-sample batches bitwise (N=1 never takes the wide path, so the
+// reference below is the per-sample im2col+GEMM lowering). This is what
+// lets retraining through the wide kernels leave cached weights — and
+// with them every downstream artifact — byte-identical.
+func TestConvBatchWideMatchesPerSampleBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for _, cfg := range []struct{ kernel, dil, stride int }{{3, 2, 1}, {3, 1, 2}, {5, 4, 1}} {
+		l := randomConv(rng, 3, 6, cfg.kernel, cfg.dil, cfg.stride)
+		const N, inT = 5, 64
+		_, outT := l.OutShape(3, inT)
+		if !crossSampleWorthIt(N, l.OutC, outT) {
+			t.Fatalf("k%d d%d s%d: test shape no longer under the wide threshold", cfg.kernel, cfg.dil, cfg.stride)
+		}
+		xb := randomBatch(rng, N, 3, inT)
+		yb := l.ForwardBatch(xb)
+		gb := randomBatch(rng, N, yb.C, yb.T)
+		l.Weight.ZeroGrad()
+		l.Bias.ZeroGrad()
+		gxb := l.BackwardBatch(gb)
+
+		ref := l.CloneForWorker().(*Conv1D)
+		ref.Weight.ZeroGrad()
+		ref.Bias.ZeroGrad()
+		for n := 0; n < N; n++ {
+			x1 := &BatchTensor{N: 1, C: xb.C, T: xb.T, Data: xb.Sample(n)}
+			y1 := ref.ForwardBatch(x1)
+			for i, v := range y1.Data {
+				if yb.Sample(n)[i] != v {
+					t.Fatalf("k%d d%d s%d sample %d: fwd elem %d = %v, want %v (must be bitwise equal)",
+						cfg.kernel, cfg.dil, cfg.stride, n, i, yb.Sample(n)[i], v)
+				}
+			}
+			g1 := &BatchTensor{N: 1, C: gb.C, T: gb.T, Data: gb.Sample(n)}
+			gx1 := ref.BackwardBatch(g1)
+			for i, v := range gx1.Data {
+				if gxb.Sample(n)[i] != v {
+					t.Fatalf("k%d d%d s%d sample %d: gx elem %d = %v, want %v (must be bitwise equal)",
+						cfg.kernel, cfg.dil, cfg.stride, n, i, gxb.Sample(n)[i], v)
+				}
+			}
+		}
+		for i := range ref.Weight.G {
+			if l.Weight.G[i] != ref.Weight.G[i] {
+				t.Fatalf("k%d d%d s%d: wG[%d] = %v, want %v (must be bitwise equal)",
+					cfg.kernel, cfg.dil, cfg.stride, i, l.Weight.G[i], ref.Weight.G[i])
+			}
+		}
+		for i := range ref.Bias.G {
+			if l.Bias.G[i] != ref.Bias.G[i] {
+				t.Fatalf("k%d d%d s%d: bG[%d] = %v, want %v (must be bitwise equal)",
+					cfg.kernel, cfg.dil, cfg.stride, i, l.Bias.G[i], ref.Bias.G[i])
+			}
+		}
+	}
+}
+
 // TestDenseBatchMatchesSerialBitwise pins both directions of the dense
 // layer: the batched GEMM keeps the serial element order exactly, forward
 // and backward.
@@ -362,10 +421,28 @@ func BenchmarkNetworkForwardBatchBig(b *testing.B) {
 	b.ReportMetric(float64(b.N*batchChunk), "windows")
 }
 
-func quantBig(b *testing.B) *QuantNetwork {
+// BenchmarkNetworkForwardBatchSmall measures the cross-sample path: every
+// TimePPG-Small conv layer rides the wide im2col lowering, so the whole
+// batch is three GEMMs per block instead of 3·N underfed per-sample ones.
+func BenchmarkNetworkForwardBatchSmall(b *testing.B) {
+	net := NewTimePPGSmall()
+	net.InitWeights(1)
+	rng := rand.New(rand.NewSource(55))
+	xb := randomBatch(rng, batchChunk, InputChannels, InputSamples)
+	out := make([]float32, batchChunk)
+	net.ForwardBatch(xb, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(xb, out)
+	}
+	b.ReportMetric(float64(b.N*batchChunk), "windows")
+}
+
+func quantNet(b *testing.B, build func() *Network, seed int64) *QuantNetwork {
 	b.Helper()
-	rng := rand.New(rand.NewSource(52))
-	net := NewTimePPGBig()
+	rng := rand.New(rand.NewSource(seed))
+	net := build()
 	net.InitWeights(2)
 	var calib []*Tensor
 	for i := 0; i < 8; i++ {
@@ -376,6 +453,11 @@ func quantBig(b *testing.B) *QuantNetwork {
 		b.Fatal(err)
 	}
 	return q
+}
+
+func quantBig(b *testing.B) *QuantNetwork {
+	b.Helper()
+	return quantNet(b, NewTimePPGBig, 52)
 }
 
 func BenchmarkQuantBigForwardSerial(b *testing.B) {
@@ -392,6 +474,34 @@ func BenchmarkQuantBigForwardSerial(b *testing.B) {
 func BenchmarkQuantBigForwardBatch(b *testing.B) {
 	q := quantBig(b)
 	rng := rand.New(rand.NewSource(54))
+	xb := randomBatch(rng, batchChunk, InputChannels, InputSamples)
+	out := make([]float32, batchChunk)
+	q.ForwardBatch(xb, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ForwardBatch(xb, out)
+	}
+	b.ReportMetric(float64(b.N*batchChunk), "windows")
+}
+
+// BenchmarkQuantSmallForwardSerial / ...Batch pair the deployed int8
+// TimePPG-Small path the same way the Big benchmarks do, so the
+// cross-sample gain on the wearable-side network is measurable directly.
+func BenchmarkQuantSmallForwardSerial(b *testing.B) {
+	q := quantNet(b, NewTimePPGSmall, 56)
+	x := randomTensor(rand.New(rand.NewSource(57)), InputChannels, InputSamples)
+	q.Forward(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Forward(x)
+	}
+}
+
+func BenchmarkQuantSmallForwardBatch(b *testing.B) {
+	q := quantNet(b, NewTimePPGSmall, 56)
+	rng := rand.New(rand.NewSource(58))
 	xb := randomBatch(rng, batchChunk, InputChannels, InputSamples)
 	out := make([]float32, batchChunk)
 	q.ForwardBatch(xb, out)

@@ -25,11 +25,21 @@ type Conv1D struct {
 
 	// Batched-path arenas: input cache, output, input gradient, and the
 	// im2col/ dcol/ Wᵀ packing buffers the GEMM lowering works out of.
+	// ywBuf/gwBuf are the channel-major staging panels of the wide
+	// cross-sample path (GEMM output before the sample-major scatter, and
+	// the gathered dY operand of the backward GEMMs).
 	xb      *BatchTensor
 	yb, gxb *BatchTensor
 	colBuf  []float32
 	dcolBuf []float32
 	wTBuf   []float32
+	ywBuf   []float32
+	gwBuf   []float32
+	// colWideValid records that colBuf holds the wide cross-sample panel
+	// of the current xb, letting BackwardBatch skip the re-pack the
+	// per-sample path cannot avoid (its buffer only ever holds the last
+	// sample). Any non-wide ForwardBatch invalidates it.
+	colWideValid bool
 }
 
 // NewConv1D constructs the layer (weights must be initialized separately).
@@ -77,7 +87,24 @@ func (l *Conv1D) CloneForWorker() Layer {
 	c.x, c.y, c.gx = nil, nil, nil
 	c.xb, c.yb, c.gxb = nil, nil, nil
 	c.colBuf, c.dcolBuf, c.wTBuf = nil, nil, nil
+	c.ywBuf, c.gwBuf = nil, nil
+	c.colWideValid = false
 	return &c
+}
+
+// crossSampleMaxPanel gates the cross-sample im2col lowering, shared by
+// the float32 and int8 conv paths: when a layer's per-sample GEMM output
+// panel (outC×outT) is smaller than this, per-sample matrices are too
+// small to amortize kernel dispatch and weight-panel reuse, so the batch
+// is packed into one J×(N·outT) GEMM instead. Every TimePPG-Small conv
+// (≤ 8×128 = 1024) falls under the threshold; every TimePPG-Big conv
+// (≥ 64×32 = 2048) stays on the per-sample path, whose larger panels are
+// already well-fed and whose wide form would outgrow the cache.
+const crossSampleMaxPanel = 2048
+
+// crossSampleWorthIt applies the heuristic for an N-sample batch.
+func crossSampleWorthIt(n, outC, outT int) bool {
+	return n > 1 && outC*outT < crossSampleMaxPanel
 }
 
 // tapRange returns the output positions [t0, t1] for which kernel tap
@@ -232,9 +259,12 @@ func convRowFused(yRow, xRow, w []float32, dilation, padL, inT, outT int) {
 
 // ForwardBatch implements Layer: each sample's receptive fields are packed
 // with im2col and multiplied against the weight matrix by the blocked GEMM
-// micro-kernel. Per output element the accumulation is bias-seeded and runs
+// micro-kernel — per sample for large layers, or in one wide cross-sample
+// GEMM when the heuristic says the per-sample panels would underfeed the
+// kernels. Per output element the accumulation is bias-seeded and runs
 // over (channel, tap) in ascending order — the serial Forward order — so
-// the batch result is bitwise identical to Forward sample by sample.
+// the batch result is bitwise identical to Forward sample by sample on
+// either path.
 func (l *Conv1D) ForwardBatch(x *BatchTensor) *BatchTensor {
 	if x.C != l.InC {
 		panic(fmt.Sprintf("tcn: conv %s expects %d channels, got %d", l.Name(), l.InC, x.C))
@@ -243,8 +273,13 @@ func (l *Conv1D) ForwardBatch(x *BatchTensor) *BatchTensor {
 	_, outT := l.OutShape(x.C, x.T)
 	y := ensureBatchTensor(&l.yb, x.N, l.OutC, outT)
 	J := l.InC * l.Kernel
-	col := ensureSlice(&l.colBuf, J*outT)
 	padL := l.padLeft()
+	if crossSampleWorthIt(x.N, l.OutC, outT) {
+		l.forwardBatchWide(x, y, J, padL, outT)
+		return y
+	}
+	l.colWideValid = false
+	col := ensureSlice(&l.colBuf, J*outT)
 	for n := 0; n < x.N; n++ {
 		im2col(col, x.Sample(n), l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
 		ys := y.Sample(n)
@@ -260,16 +295,46 @@ func (l *Conv1D) ForwardBatch(x *BatchTensor) *BatchTensor {
 	return y
 }
 
+// forwardBatchWide is the cross-sample lowering: every sample's patches
+// are packed into one J×(N·outT) panel, the whole layer becomes a single
+// GEMM into a channel-major staging panel (rows bias-seeded exactly like
+// the per-sample path), and the result is scattered back to the
+// sample-major batch layout. The column a value lands in never enters its
+// reduction, so each output element's accumulation chain — and therefore
+// the bitwise result — is identical to the per-sample path.
+func (l *Conv1D) forwardBatchWide(x, y *BatchTensor, J, padL, outT int) {
+	wide := x.N * outT
+	col := ensureSlice(&l.colBuf, J*wide)
+	im2colWide(col, x.Data, x.N, l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+	l.colWideValid = true
+	yw := ensureSlice(&l.ywBuf, l.OutC*wide)
+	for o := 0; o < l.OutC; o++ {
+		bias := l.Bias.W[o]
+		row := yw[o*wide : (o+1)*wide]
+		for t := range row {
+			row[t] = bias
+		}
+	}
+	gemm.F32(yw, l.Weight.W, col, l.OutC, J, wide)
+	for n := 0; n < x.N; n++ {
+		ys := y.Sample(n)
+		for o := 0; o < l.OutC; o++ {
+			copy(ys[o*outT:(o+1)*outT], yw[o*wide+n*outT:o*wide+(n+1)*outT])
+		}
+	}
+}
+
 // BackwardBatch implements Layer: the weight gradient lowers onto the
 // dot-product GEMM (dW += dY·colᵀ), the input gradient onto a Wᵀ GEMM
-// followed by a col2im scatter. ForwardBatch must have been called first.
+// followed by a col2im scatter — per sample, or through the wide
+// cross-sample panels whenever ForwardBatch used them (the heuristic
+// depends only on shapes, so the two passes always agree). ForwardBatch
+// must have been called first.
 func (l *Conv1D) BackwardBatch(grad *BatchTensor) *BatchTensor {
 	x := l.xb
 	gx := ensureBatchTensor(&l.gxb, x.N, x.C, x.T)
 	outT := grad.T
 	J := l.InC * l.Kernel
-	col := ensureSlice(&l.colBuf, J*outT)
-	dcol := ensureSlice(&l.dcolBuf, J*outT)
 	wT := ensureSlice(&l.wTBuf, J*l.OutC)
 	for o := 0; o < l.OutC; o++ {
 		for j := 0; j < J; j++ {
@@ -277,6 +342,12 @@ func (l *Conv1D) BackwardBatch(grad *BatchTensor) *BatchTensor {
 		}
 	}
 	padL := l.padLeft()
+	if crossSampleWorthIt(x.N, l.OutC, outT) {
+		l.backwardBatchWide(grad, x, gx, wT, J, padL, outT)
+		return gx
+	}
+	col := ensureSlice(&l.colBuf, J*outT)
+	dcol := ensureSlice(&l.dcolBuf, J*outT)
 	for n := 0; n < x.N; n++ {
 		g := grad.Sample(n)
 		for o := 0; o < l.OutC; o++ {
@@ -296,9 +367,52 @@ func (l *Conv1D) BackwardBatch(grad *BatchTensor) *BatchTensor {
 		for i := range gxs {
 			gxs[i] = 0
 		}
-		col2imF32(gxs, dcol, l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+		col2imF32(gxs, dcol, l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT, outT)
 	}
 	return gx
+}
+
+// backwardBatchWide runs both backward GEMMs once for the whole batch:
+// dY is gathered into a channel-major (outC × N·outT) panel, the weight
+// gradient becomes one dot-product GEMM over the wide im2col panel
+// (reduction over (n, t) in batch order — the same ascending order the
+// per-sample loop visits), and the input gradient one Wᵀ GEMM whose wide
+// dcol result col2im-scatters back per sample.
+func (l *Conv1D) backwardBatchWide(grad, x, gx *BatchTensor, wT []float32, J, padL, outT int) {
+	wide := x.N * outT
+	gw := ensureSlice(&l.gwBuf, l.OutC*wide)
+	for n := 0; n < x.N; n++ {
+		g := grad.Sample(n)
+		for o := 0; o < l.OutC; o++ {
+			var gb float32
+			for _, v := range g[o*outT : (o+1)*outT] {
+				gb += v
+			}
+			l.Bias.G[o] += gb
+			copy(gw[o*wide+n*outT:o*wide+(n+1)*outT], g[o*outT:(o+1)*outT])
+		}
+	}
+	// Reuse the wide panel ForwardBatch packed from the same xb — the
+	// cross-sample layout is what makes the forward's im2col work
+	// recoverable here (the per-sample buffer only ever holds the last
+	// sample's patches).
+	col := ensureSlice(&l.colBuf, J*wide)
+	if !l.colWideValid {
+		im2colWide(col, x.Data, x.N, l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT)
+		l.colWideValid = true
+	}
+	gemm.F32NT(l.Weight.G, gw, col, l.OutC, wide, J)
+	dcol := ensureSlice(&l.dcolBuf, J*wide)
+	for i := range dcol {
+		dcol[i] = 0
+	}
+	gemm.F32(dcol, wT, gw, J, l.OutC, wide)
+	for i := range gx.Data {
+		gx.Data[i] = 0
+	}
+	for n := 0; n < x.N; n++ {
+		col2imF32(gx.Sample(n), dcol[n*outT:], l.InC, x.T, l.Kernel, l.Dilation, l.Stride, padL, outT, wide)
+	}
 }
 
 // Backward implements Layer. Like Forward, the returned gradient tensor is

@@ -58,17 +58,55 @@ func quantizeBatchInto(slot **qBatchTensor, x *BatchTensor, scale float32) *qBat
 	return q
 }
 
-// forwardBatch implements qOp for qConv: per sample, im2col packing, the
-// int8 GEMM micro-kernel over bias-seeded int32 accumulators, then the
-// per-output-channel rescale (round, optional fused ReLU, clamp) of the
-// serial kernel.
+// rescaleRow applies the per-output-channel rescale of the serial kernel
+// (round, optional fused ReLU, clamp) to one accumulator row — the exact
+// per-element expressions of qConv.forward, shared by the per-sample and
+// cross-sample batch paths.
+func (l *qConv) rescaleRow(yr []int8, ar []int32, o int) {
+	mult := l.inScale * l.wScale[o] / l.outScale
+	for t, a := range ar {
+		v := float32(math.Round(float64(float32(a) * mult)))
+		if l.relu && v < 0 {
+			v = 0
+		}
+		yr[t] = clampI8(v)
+	}
+}
+
+// forwardBatch implements qOp for qConv: im2col packing, the int8 GEMM
+// micro-kernel over bias-seeded int32 accumulators, then the
+// per-output-channel rescale of the serial kernel — per sample for large
+// layers, or as one wide cross-sample GEMM (the same lowering and
+// heuristic as the float path; integer accumulation is exact, so the
+// result is identical either way).
 func (l *qConv) forwardBatch(x *qBatchTensor) *qBatchTensor {
 	outT := (x.T-1)/l.stride + 1
 	y := ensureQBatchTensor(&l.outB, x.N, l.outC, outT, l.outScale)
 	J := l.inC * l.kernel
+	padL := l.padLeft()
+	if crossSampleWorthIt(x.N, l.outC, outT) {
+		wide := x.N * outT
+		col := ensureSlice(&l.colBuf, J*wide)
+		im2colWide(col, x.Data, x.N, l.inC, x.T, l.kernel, l.dilation, l.stride, padL, outT)
+		acc := ensureSlice(&l.accBuf, l.outC*wide)
+		for o := 0; o < l.outC; o++ {
+			b := l.bias[o]
+			row := acc[o*wide : (o+1)*wide]
+			for t := range row {
+				row[t] = b
+			}
+		}
+		gemm.S8(acc, l.weight, col, l.outC, J, wide)
+		for n := 0; n < x.N; n++ {
+			ys := y.Sample(n)
+			for o := 0; o < l.outC; o++ {
+				l.rescaleRow(ys[o*outT:(o+1)*outT], acc[o*wide+n*outT:o*wide+(n+1)*outT], o)
+			}
+		}
+		return y
+	}
 	col := ensureSlice(&l.colBuf, J*outT)
 	acc := ensureSlice(&l.accBuf, l.outC*outT)
-	padL := l.padLeft()
 	for n := 0; n < x.N; n++ {
 		im2col(col, x.Sample(n), l.inC, x.T, l.kernel, l.dilation, l.stride, padL, outT)
 		for o := 0; o < l.outC; o++ {
@@ -81,16 +119,7 @@ func (l *qConv) forwardBatch(x *qBatchTensor) *qBatchTensor {
 		gemm.S8(acc, l.weight, col, l.outC, J, outT)
 		ys := y.Sample(n)
 		for o := 0; o < l.outC; o++ {
-			mult := l.inScale * l.wScale[o] / l.outScale
-			ar := acc[o*outT : (o+1)*outT]
-			yr := ys[o*outT : (o+1)*outT]
-			for t, a := range ar {
-				v := float32(math.Round(float64(float32(a) * mult)))
-				if l.relu && v < 0 {
-					v = 0
-				}
-				yr[t] = clampI8(v)
-			}
+			l.rescaleRow(ys[o*outT:(o+1)*outT], acc[o*outT:(o+1)*outT], o)
 		}
 	}
 	return y
