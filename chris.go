@@ -13,7 +13,9 @@
 //   - the synthetic PPGDalia-like dataset (Dataset, Window, activities),
 //   - the three reference HR estimators (NewAT, NewTimePPGSmall,
 //     NewTimePPGBig) and the activity-recognition forest (TrainForest),
-//   - whole-system simulation (Simulate).
+//   - whole-system simulation (Simulate), optionally fault-injected
+//     through the deterministic chaos harness (FaultInjector,
+//     CommuteScenario/GymScenario/WorstCaseScenario, OffloadProtocol).
 //
 // See examples/quickstart for the three-call happy path: BuildPipeline →
 // Engine → Predict.
@@ -63,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dalia"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/hw/ble"
 	"repro/internal/hw/power"
@@ -208,7 +211,43 @@ type (
 	ScenarioConfig = sim.Config
 	// ScenarioResult aggregates a simulation run.
 	ScenarioResult = sim.Result
+	// OffloadProtocol tunes the fault-injected offload state machine
+	// (deadline, retries, backoff, reselection hysteresis).
+	OffloadProtocol = sim.Protocol
 )
 
 // Simulate runs a whole-system scenario.
 func Simulate(cfg ScenarioConfig) (ScenarioResult, error) { return sim.Run(cfg) }
+
+// DefaultOffloadProtocol returns the calibrated offload-protocol defaults.
+func DefaultOffloadProtocol() OffloadProtocol { return sim.DefaultProtocol() }
+
+// Fault-injection re-exports (the deterministic chaos harness of
+// internal/faults: lossy BLE with replayable per-packet loss, link flaps,
+// phone latency spikes and unavailability, battery brown-outs).
+type (
+	// FaultScenario describes an injected fault pattern over time.
+	FaultScenario = faults.Scenario
+	// FaultInjector is a seeded, replayable scenario instance; pass it to
+	// ScenarioConfig.Faults to enable the lossy-link simulation path.
+	FaultInjector = faults.Injector
+	// BurstChannelParams parameterizes the Gilbert–Elliott loss channel.
+	BurstChannelParams = faults.ChannelParams
+)
+
+var (
+	// NewFaultInjector binds a scenario to a replay seed.
+	NewFaultInjector = faults.NewInjector
+	// FaultScenarioByName looks up a preset scenario (commute, gym,
+	// worstcase, none).
+	FaultScenarioByName = faults.ByName
+	// FaultScenarioNames lists the preset scenario names.
+	FaultScenarioNames = faults.Names
+	// CommuteScenario, GymScenario and WorstCaseScenario are the preset
+	// chaos scenarios; NoFaultScenario is the empty scenario whose
+	// injected run is bitwise identical to the fault-free simulator.
+	CommuteScenario   = faults.Commute
+	GymScenario       = faults.Gym
+	WorstCaseScenario = faults.WorstCase
+	NoFaultScenario   = faults.None
+)

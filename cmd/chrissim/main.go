@@ -1,21 +1,31 @@
 // Command chrissim runs whole-system scenarios on the CHRIS smartwatch
-// simulator: battery-life projections under a chosen constraint, and BLE
-// dropout traces with configuration re-selection.
+// simulator: battery-life projections under a chosen constraint, BLE
+// dropout traces with configuration re-selection, and fault-injected
+// runs over a lossy link with retry/timeout/backoff and graceful
+// degradation.
 //
 // Usage:
 //
-//	chrissim [-quick] [-hours 24] [-mae 6.0] [-dropout 0] [-sensors] [-v]
+//	chrissim [-quick] [-hours 24] [-mae 6.0] [-dropout 0]
+//	         [-faults commute|gym|worstcase|none] [-seed 1] [-json]
+//	         [-sensors] [-v]
 //
 // -dropout N cuts the link every N simulated seconds (down for N/4).
+// -faults picks a chaos scenario (see internal/faults); -seed makes the
+// injected packet loss replayable — the same seed reproduces the run
+// byte for byte, which CI uses as a deterministic-replay gate via -json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hw/ble"
 	"repro/internal/hw/power"
 	"repro/internal/sim"
@@ -30,6 +40,9 @@ func main() {
 	maeBound := flag.Float64("mae", 0, "MAE constraint in BPM (0 = use energy bound)")
 	energyBound := flag.Float64("energy", 0.3, "energy constraint in mJ when -mae is 0")
 	dropout := flag.Float64("dropout", 0, "link dropout period in seconds (0 = always up)")
+	faultsName := flag.String("faults", "", "fault scenario: "+listScenarios()+" (empty = fault-free)")
+	seed := flag.Uint64("seed", 1, "fault-injection seed (replayable)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	sensors := flag.Bool("sensors", true, "charge the PPG/IMU front end")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
@@ -68,6 +81,18 @@ func main() {
 		}
 	}
 
+	var injector *faults.Injector
+	if *faultsName != "" {
+		sc, ok := faults.ByName(*faultsName)
+		if !ok {
+			log.Fatalf("unknown fault scenario %q (have %s)", *faultsName, listScenarios())
+		}
+		injector, err = faults.NewInjector(sc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	bat := power.NewLiIon370()
 	res, err := sim.Run(sim.Config{
 		System:          suite.Sys,
@@ -78,9 +103,19 @@ func main() {
 		DurationSeconds: *hours * 3600,
 		Battery:         bat,
 		IncludeSensors:  *sensors,
+		Faults:          injector,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("scenario: %.1f h, constraint %v, dropout %v s\n", *hours, constraint, *dropout)
@@ -94,6 +129,17 @@ func main() {
 		res.Watch.Compute, res.Watch.Radio, res.Watch.Idle, res.Watch.Sensors, res.Watch.Total())
 	fmt.Printf("phone energy:         %v\n", res.PhoneEnergy)
 	fmt.Printf("battery drain:        %v (SoC %.1f%%)\n", res.BatteryDrain, res.FinalSoC*100)
+	if injector != nil {
+		fmt.Printf("fault scenario:       %s (seed %d)\n", res.FaultScenario, res.FaultSeed)
+		fmt.Printf("  retries %d, timeouts %d, supervision drops %d, deadline misses %d\n",
+			res.Retries, res.Timeouts, res.SupervisionDrops, res.DeadlineMisses)
+		fmt.Printf("  fallback windows:   %d (%.1f%%)\n",
+			res.FallbackWindows, pct(res.FallbackWindows, res.Predictions))
+		fmt.Printf("  retransmits:        %d packets, %v radio overhead\n",
+			res.RetransmitPackets, res.RetransmitEnergy)
+		fmt.Printf("  brown-out drain:    %v\n", res.BrownOutEnergy)
+		fmt.Printf("  MAE under faults:   %.2f BPM over %d windows\n", res.FaultMAE, res.FaultWindows)
+	}
 	if res.BatteryExhausted {
 		fmt.Printf("battery exhausted after %.1f h\n", res.SimulatedSeconds/3600)
 	} else if res.SimulatedSeconds > 0 {
@@ -101,6 +147,18 @@ func main() {
 		fmt.Printf("projected battery life: %.0f h at %v average\n",
 			power.NewLiIon370().LifetimeHours(avg), avg)
 	}
+}
+
+func listScenarios() string {
+	names := faults.Names()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "|"
+		}
+		out += n
+	}
+	return out
 }
 
 func pct(a, b int) float64 {

@@ -74,4 +74,33 @@ func main() {
 		res.Predictions, res.Reselections, res.LinkDownWindows)
 	fmt.Printf("field MAE %.2f BPM; watch energy %v (radio %v)\n",
 		res.MAE, res.Watch.Total(), res.Watch.Radio)
+
+	// The same replay under the deterministic chaos harness: the commute
+	// scenario injects bursty packet loss, a tunnel flap, phone latency
+	// spikes and a phone-unavailable stretch. Offloads now run through the
+	// retry/timeout/backoff protocol and degrade gracefully to the
+	// watch-side model; the fixed seed makes the run replayable bit for
+	// bit.
+	inj, err := chris.NewFaultInjector(chris.CommuteScenario(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fres, err := chris.Simulate(chris.ScenarioConfig{
+		System:          pipe.Sys,
+		Engine:          engine,
+		Constraint:      constraint,
+		Windows:         pipe.TestWindows,
+		DurationSeconds: 6 * 3600,
+		Faults:          inj,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6-hour commute chaos replay (seed %d):\n", fres.FaultSeed)
+	fmt.Printf("  retries %d, timeouts %d, supervision drops %d\n",
+		fres.Retries, fres.Timeouts, fres.SupervisionDrops)
+	fmt.Printf("  fallback windows %d of %d predictions; %d packets retransmitted (%v radio overhead)\n",
+		fres.FallbackWindows, fres.Predictions, fres.RetransmitPackets, fres.RetransmitEnergy)
+	fmt.Printf("  MAE %.2f BPM overall, %.2f BPM over the %d fault-touched windows\n",
+		fres.MAE, fres.FaultMAE, fres.FaultWindows)
 }

@@ -357,7 +357,8 @@ func KernelBenchmarks() []KernelResult {
 			}
 		}),
 	}
-	return append(results, cacheKernels()...)
+	results = append(results, cacheKernels()...)
+	return append(results, simKernels()...)
 }
 
 // cacheRecordCount sizes the record-cache kernels: large enough that the

@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw/power"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+	if NewRand(42).Uint64() == NewRand(43).Uint64() {
+		t.Error("different seeds produce the same first draw")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRandForkIndependentOfOrderAndDraws(t *testing.T) {
+	// Forks are keyed by (seed, label): parent draws and fork order must
+	// not change a fork's stream.
+	a := NewRand(99)
+	forkA := a.Fork("channel")
+	b := NewRand(99)
+	b.Uint64() // consume parent draws first
+	b.Uint64()
+	_ = b.Fork("other")
+	forkB := b.Fork("channel")
+	for i := 0; i < 100; i++ {
+		if forkA.Uint64() != forkB.Uint64() {
+			t.Fatalf("fork streams diverge at draw %d", i)
+		}
+	}
+	if NewRand(99).Fork("x").Uint64() == NewRand(99).Fork("y").Uint64() {
+		t.Error("different labels produce the same fork stream")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Loss: []LossSegment{{From: 10}, {From: 10}}},
+		{Flaps: []Interval{{From: 5, To: 5}}},
+		{PhoneDown: []Interval{{From: 9, To: 3}}},
+		{Latency: []LatencySpike{{Interval: Interval{From: 0, To: 1}, Extra: -1}}},
+		{BrownOuts: []BrownOut{{At: 1, Drain: -1}}},
+		{PeriodSeconds: 100, BrownOuts: []BrownOut{{At: 150, Drain: 1}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %d: invalid scenario accepted", i)
+		}
+		if _, err := NewInjector(sc, 1); err == nil {
+			t.Errorf("scenario %d: NewInjector accepted invalid scenario", i)
+		}
+	}
+	for _, name := range Names() {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("preset %q not resolvable", name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if name != sc.Name {
+			t.Errorf("preset %q reports name %q", name, sc.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func TestChannelAtSegments(t *testing.T) {
+	sc := Scenario{
+		PeriodSeconds: 100,
+		Loss: []LossSegment{
+			{From: 10, Channel: ChannelParams{GoodLoss: 0.1}},
+			{From: 50, Channel: ChannelParams{GoodLoss: 0.5}},
+		},
+	}
+	in, err := NewInjector(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0}, {9.9, 0}, {10, 0.1}, {49, 0.1}, {50, 0.5}, {99, 0.5},
+		// Periodic wrap: 100+t behaves like t.
+		{100, 0}, {115, 0.1}, {160, 0.5},
+	}
+	for _, c := range cases {
+		if got := in.ChannelAt(c.t).GoodLoss; got != c.want {
+			t.Errorf("ChannelAt(%v).GoodLoss = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestInjectorIntervalQueries(t *testing.T) {
+	sc := Scenario{
+		PeriodSeconds: 100,
+		Flaps:         []Interval{{From: 20, To: 30}},
+		PhoneDown:     []Interval{{From: 40, To: 60}},
+		Latency:       []LatencySpike{{Interval: Interval{From: 0, To: 50}, Extra: 0.2}},
+	}
+	in, err := NewInjector(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ForcedDown(19.9) || !in.ForcedDown(20) || !in.ForcedDown(29.9) || in.ForcedDown(30) {
+		t.Error("flap interval boundaries wrong")
+	}
+	if !in.ForcedDown(125) {
+		t.Error("flap not periodic")
+	}
+	if !in.PhoneAvailable(39) || in.PhoneAvailable(40) || in.PhoneAvailable(159) {
+		t.Error("phone-down interval boundaries wrong")
+	}
+	if got := in.ResponseLatency(10); got != 0.2 {
+		t.Errorf("latency in spike = %v, want 0.2", got)
+	}
+	if got := in.ResponseLatency(60); got != 0 {
+		t.Errorf("latency outside spike = %v, want 0", got)
+	}
+}
+
+func TestBrownOutBetween(t *testing.T) {
+	one := power.MilliJoules(10)
+	sc := Scenario{PeriodSeconds: 100, BrownOuts: []BrownOut{{At: 50, Drain: one}}}
+	in, err := NewInjector(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t0, t1 float64
+		events int
+	}{
+		{0, 50, 0}, {49, 51, 1}, {50, 52, 1}, {51, 100, 0},
+		{0, 100, 1}, {0, 250, 2}, {149, 151, 1}, {40, 260, 3},
+	}
+	for _, c := range cases {
+		want := power.Energy(float64(c.events)) * one
+		if got := in.BrownOutBetween(c.t0, c.t1); math.Abs(float64(got-want)) > 1e-18 {
+			t.Errorf("BrownOutBetween(%v,%v) = %v, want %v events", c.t0, c.t1, got, c.events)
+		}
+	}
+	// Aperiodic scenario: the event fires exactly once.
+	ap := Scenario{BrownOuts: []BrownOut{{At: 50, Drain: one}}}
+	inA, err := NewInjector(ap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inA.BrownOutBetween(0, 1000); got != one {
+		t.Errorf("aperiodic brown-out total = %v, want %v", got, one)
+	}
+	if got := inA.BrownOutBetween(60, 1000); got != 0 {
+		t.Errorf("aperiodic brown-out after event = %v, want 0", got)
+	}
+}
+
+func TestInjectorReplay(t *testing.T) {
+	sc := WorstCase()
+	a, err := NewInjector(sc, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(sc, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatalf("packet streams diverge at draw %d", i)
+		}
+	}
+	c, err := NewInjector(sc, 1235)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rand().Uint64() == c.Rand().Uint64() {
+		t.Error("different seeds produce the same packet stream")
+	}
+	if a.Seed() != 1234 || a.Scenario().Name != "worstcase" {
+		t.Error("injector does not report its binding")
+	}
+}

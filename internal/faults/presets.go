@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/hw/power"
+)
+
+// None is the empty scenario: every query answers "no fault", the channel
+// is lossless, and no random draws are consumed — a simulation run with
+// it is bitwise identical to one with fault injection disabled.
+func None() Scenario { return Scenario{Name: "none"} }
+
+// Commute is a 30-minute city-commute cycle: a clean stretch at home, a
+// pocketed-phone street walk with mild burst loss, a subway leg with deep
+// fading plus a dead tunnel, and slower phone responses while navigation
+// hogs the phone.
+func Commute() Scenario {
+	return Scenario{
+		Name:          "commute",
+		PeriodSeconds: 1800,
+		Loss: []LossSegment{
+			// 0–7 min at home: clean (explicit zero segment documents it).
+			{From: 0, Channel: ChannelParams{}},
+			// Street walk: occasional shadowing bursts.
+			{From: 420, Channel: ChannelParams{GoodLoss: 0.01, BadLoss: 0.5, GoodToBad: 0.02, BadToGood: 0.25}},
+			// Subway: deep fades, long bursts.
+			{From: 900, Channel: ChannelParams{GoodLoss: 0.05, BadLoss: 0.9, GoodToBad: 0.08, BadToGood: 0.1}},
+			// Arrival: back to mild loss.
+			{From: 1500, Channel: ChannelParams{GoodLoss: 0.01, BadLoss: 0.3, GoodToBad: 0.01, BadToGood: 0.3}},
+		},
+		// Tunnel: link gone outright for a minute.
+		Flaps: []Interval{{From: 1040, To: 1100}},
+		// Navigation keeps the phone busy through the subway leg.
+		Latency: []LatencySpike{{Interval: Interval{From: 900, To: 1500}, Extra: 0.15}},
+		// Phone left on the counter before leaving.
+		PhoneDown: []Interval{{From: 300, To: 390}},
+	}
+}
+
+// Gym is a 20-minute circuit-training cycle: sustained moderate burst
+// loss from body shadowing and metal frames, short flaps moving between
+// stations, and the phone unreachable in the locker for the first five
+// minutes.
+func Gym() Scenario {
+	return Scenario{
+		Name:          "gym",
+		PeriodSeconds: 1200,
+		Loss: []LossSegment{
+			{From: 0, Channel: ChannelParams{GoodLoss: 0.03, BadLoss: 0.6, GoodToBad: 0.05, BadToGood: 0.2}},
+			// Free-weights corner behind the rack: worse shadowing.
+			{From: 600, Channel: ChannelParams{GoodLoss: 0.06, BadLoss: 0.8, GoodToBad: 0.1, BadToGood: 0.15}},
+			{From: 960, Channel: ChannelParams{GoodLoss: 0.03, BadLoss: 0.6, GoodToBad: 0.05, BadToGood: 0.2}},
+		},
+		Flaps: []Interval{
+			{From: 580, To: 600},
+			{From: 940, To: 955},
+		},
+		PhoneDown: []Interval{{From: 0, To: 300}},
+		Latency:   []LatencySpike{{Interval: Interval{From: 300, To: 1200}, Extra: 0.05}},
+	}
+}
+
+// WorstCase is the stress preset: continuous heavy burst loss, a long
+// flap, the phone unreachable for long stretches, fat latency spikes and
+// a periodic brown-out — everything the graceful-degradation machinery
+// must survive at once.
+func WorstCase() Scenario {
+	return Scenario{
+		Name:          "worstcase",
+		PeriodSeconds: 600,
+		Loss: []LossSegment{
+			{From: 0, Channel: ChannelParams{GoodLoss: 0.15, BadLoss: 0.95, GoodToBad: 0.15, BadToGood: 0.05}},
+		},
+		Flaps:     []Interval{{From: 120, To: 240}},
+		Latency:   []LatencySpike{{Interval: Interval{From: 0, To: 600}, Extra: 0.4}},
+		PhoneDown: []Interval{{From: 300, To: 480}},
+		BrownOuts: []BrownOut{{At: 500, Drain: power.MilliJoules(50)}},
+	}
+}
+
+var presets = map[string]func() Scenario{
+	"none":      None,
+	"commute":   Commute,
+	"gym":       Gym,
+	"worstcase": WorstCase,
+}
+
+// ByName resolves a preset scenario by name (see Names).
+func ByName(name string) (Scenario, bool) {
+	f, ok := presets[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return f(), true
+}
+
+// Names lists the preset scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,53 @@
+package faults
+
+// Rand is a splitmix64 pseudo-random stream with an explicit seed. It is
+// the only randomness source of the fault layer: deterministic across
+// platforms, cheap (two multiplies and three xor-shifts per draw), and
+// trivially forkable into independent sub-streams, so adding a new fault
+// dimension never perturbs the draws of an existing one.
+type Rand struct {
+	seed  uint64
+	state uint64
+}
+
+// NewRand returns a stream seeded with seed. Equal seeds yield equal
+// streams.
+func NewRand(seed uint64) *Rand {
+	return &Rand{seed: seed, state: seed}
+}
+
+// Seed returns the seed the stream was created with (forks report their
+// derived seed).
+func (r *Rand) Seed() uint64 { return r.seed }
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent stream keyed by label. The child seed is a
+// pure function of the parent's seed and the label — forking neither
+// consumes parent draws nor depends on fork order, so sub-streams can be
+// created lazily without changing replay.
+func (r *Rand) Fork(label string) *Rand {
+	// FNV-1a over the label, mixed with the parent seed through one
+	// splitmix64 finalizer round.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := r.seed ^ h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRand(z ^ (z >> 31))
+}

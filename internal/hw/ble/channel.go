@@ -1,0 +1,130 @@
+package ble
+
+import (
+	"repro/internal/faults"
+	"repro/internal/hw/power"
+)
+
+// DefaultSupervisionRetransmits is the consecutive-failure budget of one
+// packet before the supervision-timeout rule declares the connection
+// dropped. BLE supervises the link with a timeout covering a handful of
+// connection events; eight straight losses of the same packet at
+// streaming cadence is past any sane supervision window.
+const DefaultSupervisionRetransmits = 8
+
+// Channel is a Gilbert–Elliott two-state burst channel: a good and a bad
+// state with independent per-packet loss probabilities, advanced one step
+// per transmitted packet. The chain's state persists across transfers
+// (fading does not reset between windows); parameters may be swapped
+// mid-run as a fault scenario moves between segments.
+//
+// Determinism: every draw comes from the *faults.Rand passed in, and a
+// parameter of exactly zero consumes no draw at all — the all-zero
+// ChannelParams therefore transmit with zero random draws and zero loss,
+// keeping fault-free runs bitwise identical to the pre-fault simulator.
+type Channel struct {
+	Params faults.ChannelParams
+	bad    bool
+}
+
+// SetParams swaps the channel parameters, keeping the chain state.
+func (c *Channel) SetParams(p faults.ChannelParams) { c.Params = p }
+
+// Bad reports whether the chain currently sits in the bad (deep-fade)
+// state.
+func (c *Channel) Bad() bool { return c.bad }
+
+// PacketLost draws one packet outcome and advances the chain: the loss
+// draw uses the current state's probability, then the state transitions.
+func (c *Channel) PacketLost(rng *faults.Rand) bool {
+	p := c.Params.GoodLoss
+	if c.bad {
+		p = c.Params.BadLoss
+	}
+	lost := p > 0 && rng.Float64() < p
+	if c.bad {
+		if c.Params.BadToGood > 0 && rng.Float64() < c.Params.BadToGood {
+			c.bad = false
+		}
+	} else if c.Params.GoodToBad > 0 && rng.Float64() < c.Params.GoodToBad {
+		c.bad = true
+	}
+	return lost
+}
+
+// TransferResult describes one lossy window transfer.
+type TransferResult struct {
+	// Delivered is true when every packet eventually got through.
+	Delivered bool
+	// Dropped is true when the supervision-timeout rule killed the
+	// connection mid-transfer (Delivered is then false).
+	Dropped bool
+	// Packets counts transmissions on air, retransmissions included.
+	Packets int
+	// Retransmits counts the lost transmissions that had to be repeated.
+	Retransmits int
+	// Seconds is the total radio airtime, retransmissions included.
+	Seconds float64
+	// Energy is the watch-side radio energy over Seconds.
+	Energy power.Energy
+}
+
+// TransmitLossy streams a payload over the burst channel ch, charging
+// every retransmission as real airtime and radio energy. Each lost packet
+// is retried immediately; when one packet fails SupervisionRetransmits
+// times in a row the transfer aborts with Dropped set — the supervision
+// timeout has converted sustained loss into a link drop, and the caller
+// must treat the connection as down until the stack re-establishes it.
+//
+// The zero-fault cost is exact: with a nil channel or all-zero parameters
+// the result is Delivered in TransmitSeconds(bytes) at
+// RadioPower·TransmitSeconds — the same expressions as the lossless
+// TransmitSeconds/TransmitEnergy pair, so the calibrated 10.24 ms /
+// 0.52 mJ window cost is preserved bitwise. Retransmission airtime is
+// accumulated separately and added on top, never reassociating the clean
+// sum.
+func (l *Link) TransmitLossy(bytes int, ch *Channel, rng *faults.Rand) TransferResult {
+	if bytes <= 0 {
+		return TransferResult{Delivered: true}
+	}
+	n := l.Packets(bytes)
+	if ch == nil || (ch.Params.Zero() && !ch.bad) {
+		s := l.TransmitSeconds(bytes)
+		return TransferResult{Delivered: true, Packets: n, Seconds: s, Energy: l.RadioPower.Over(s)}
+	}
+	limit := l.SupervisionRetransmits
+	if limit <= 0 {
+		limit = DefaultSupervisionRetransmits
+	}
+	var (
+		extra     float64 // airtime of lost transmissions
+		retrans   int
+		sentBytes int // payload bytes of delivered packets
+	)
+	for i := 0; i < n; i++ {
+		pb := l.PayloadPerPacket
+		if rem := bytes - sentBytes; rem < pb {
+			pb = rem
+		}
+		air := float64(pb)*8/l.BitRate + l.PacketOverheadSeconds
+		consec := 0
+		for ch.PacketLost(rng) {
+			consec++
+			retrans++
+			extra += air
+			if consec >= limit {
+				partial := float64(sentBytes)*8/l.BitRate + float64(i)*l.PacketOverheadSeconds + extra
+				return TransferResult{
+					Dropped: true, Packets: i + retrans, Retransmits: retrans,
+					Seconds: partial, Energy: l.RadioPower.Over(partial),
+				}
+			}
+		}
+		sentBytes += pb
+	}
+	s := l.TransmitSeconds(bytes) + extra
+	return TransferResult{
+		Delivered: true, Packets: n + retrans, Retransmits: retrans,
+		Seconds: s, Energy: l.RadioPower.Over(s),
+	}
+}

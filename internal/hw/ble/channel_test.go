@@ -1,0 +1,156 @@
+package ble
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestTransmitLossyZeroFaultBitwise(t *testing.T) {
+	l := New()
+	want := l.TransmitSeconds(WindowBytes)
+	wantE := l.WindowTransmitEnergy()
+	// nil channel, all-zero channel, and all-zero channel with a shared
+	// rng must all reproduce the calibrated lossless cost bitwise.
+	rng := faults.NewRand(1)
+	for _, ch := range []*Channel{nil, {}, {}} {
+		r := l.TransmitLossy(WindowBytes, ch, rng)
+		if !r.Delivered || r.Dropped || r.Retransmits != 0 {
+			t.Fatalf("zero-fault transfer not clean: %+v", r)
+		}
+		if r.Seconds != want || r.Energy != wantE {
+			t.Errorf("zero-fault cost %v s / %v J not bitwise equal to %v / %v",
+				r.Seconds, r.Energy, want, wantE)
+		}
+		if r.Packets != l.Packets(WindowBytes) {
+			t.Errorf("packets = %d, want %d", r.Packets, l.Packets(WindowBytes))
+		}
+	}
+	// And it must not have consumed any draws: a fresh stream still
+	// matches.
+	if rng.Uint64() != faults.NewRand(1).Uint64() {
+		t.Error("zero-fault transfer consumed random draws")
+	}
+}
+
+func TestTransmitLossyRetransmitsCharged(t *testing.T) {
+	l := New()
+	// Moderate uniform loss: retransmissions happen but the transfer
+	// completes.
+	ch := &Channel{Params: faults.ChannelParams{GoodLoss: 0.3}}
+	rng := faults.NewRand(7)
+	r := l.TransmitLossy(WindowBytes, ch, rng)
+	if !r.Delivered {
+		t.Fatalf("transfer with 30%% loss did not complete: %+v", r)
+	}
+	if r.Retransmits == 0 {
+		t.Fatal("no retransmissions at 30% loss (seeded run)")
+	}
+	clean := l.TransmitSeconds(WindowBytes)
+	if r.Seconds <= clean {
+		t.Errorf("lossy airtime %v not above clean %v", r.Seconds, clean)
+	}
+	if got := float64(r.Energy); got <= float64(l.WindowTransmitEnergy()) {
+		t.Errorf("lossy energy %v not above clean %v", r.Energy, l.WindowTransmitEnergy())
+	}
+	// Energy must price the airtime at RadioPower exactly.
+	if want := l.RadioPower.Over(r.Seconds); r.Energy != want {
+		t.Errorf("energy %v != RadioPower·Seconds %v", r.Energy, want)
+	}
+	if r.Packets != l.Packets(WindowBytes)+r.Retransmits {
+		t.Errorf("packets %d != clean %d + retransmits %d", r.Packets, l.Packets(WindowBytes), r.Retransmits)
+	}
+}
+
+func TestTransmitLossySupervisionDrop(t *testing.T) {
+	l := New()
+	// A fully opaque channel: the first packet fails until the
+	// supervision budget is spent.
+	ch := &Channel{Params: faults.ChannelParams{GoodLoss: 1, BadLoss: 1}}
+	r := l.TransmitLossy(WindowBytes, ch, faults.NewRand(3))
+	if r.Delivered || !r.Dropped {
+		t.Fatalf("opaque channel delivered: %+v", r)
+	}
+	if r.Retransmits != l.SupervisionRetransmits {
+		t.Errorf("retransmits = %d, want supervision budget %d", r.Retransmits, l.SupervisionRetransmits)
+	}
+	// The wasted attempts are charged: airtime of budget × first-packet
+	// attempts, no delivered payload.
+	perPacket := float64(l.PayloadPerPacket)*8/l.BitRate + l.PacketOverheadSeconds
+	want := float64(l.SupervisionRetransmits) * perPacket
+	if math.Abs(r.Seconds-want) > 1e-12 {
+		t.Errorf("dropped-transfer airtime %v, want %v", r.Seconds, want)
+	}
+	if r.Energy != l.RadioPower.Over(r.Seconds) {
+		t.Errorf("dropped-transfer energy %v != RadioPower·Seconds", r.Energy)
+	}
+}
+
+func TestTransmitLossyDeterministic(t *testing.T) {
+	l := New()
+	params := faults.ChannelParams{GoodLoss: 0.1, BadLoss: 0.8, GoodToBad: 0.1, BadToGood: 0.2}
+	runStream := func(seed uint64) []TransferResult {
+		ch := &Channel{Params: params}
+		rng := faults.NewRand(seed)
+		out := make([]TransferResult, 50)
+		for i := range out {
+			out[i] = l.TransmitLossy(WindowBytes, ch, rng)
+		}
+		return out
+	}
+	a, b := runStream(11), runStream(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d differs across identically seeded runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := runStream(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds reproduce the identical 50-transfer stream")
+	}
+}
+
+func TestChannelBurstStates(t *testing.T) {
+	// Deterministic transitions: GoodToBad=1 flips to bad after one
+	// packet, BadToGood=1 flips straight back.
+	ch := &Channel{Params: faults.ChannelParams{GoodToBad: 1}}
+	rng := faults.NewRand(5)
+	if ch.Bad() {
+		t.Fatal("channel starts bad")
+	}
+	ch.PacketLost(rng)
+	if !ch.Bad() {
+		t.Error("GoodToBad=1 did not transition")
+	}
+	ch.SetParams(faults.ChannelParams{BadToGood: 1})
+	ch.PacketLost(rng)
+	if ch.Bad() {
+		t.Error("BadToGood=1 did not transition back")
+	}
+	// Loss respects the state: BadLoss=1/GoodLoss=0 loses exactly while
+	// bad.
+	ch = &Channel{Params: faults.ChannelParams{BadLoss: 1}}
+	if ch.PacketLost(rng) {
+		t.Error("good state lost a packet with GoodLoss=0")
+	}
+	ch.bad = true
+	if !ch.PacketLost(rng) {
+		t.Error("bad state kept a packet with BadLoss=1")
+	}
+}
+
+func TestTransmitLossyEmptyPayload(t *testing.T) {
+	l := New()
+	r := l.TransmitLossy(0, &Channel{Params: faults.ChannelParams{GoodLoss: 1}}, faults.NewRand(1))
+	if !r.Delivered || r.Seconds != 0 || r.Energy != 0 || r.Packets != 0 {
+		t.Errorf("empty payload transfer not free: %+v", r)
+	}
+}

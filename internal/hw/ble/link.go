@@ -7,6 +7,19 @@
 // calibrated so that one 2048-byte analysis window (256 samples × 4
 // channels × 16 bit) costs 10.24 ms of radio time and 0.52 mJ, matching
 // the fixed BLE row of the paper's Table III.
+//
+// On top of the lossless calibrated model sits an optional lossy layer
+// (channel.go): a Gilbert–Elliott two-state burst channel, per-packet
+// retransmissions charged as real airtime and radio energy
+// (TransmitLossy), and a supervision-timeout rule converting sustained
+// loss into a link drop. The lossless path is untouched: a nil or
+// all-zero channel reproduces the calibrated window cost bitwise.
+//
+// Link state precedence: an attached ConnectivityTrace (UseTrace) always
+// wins over the static state forced with SetConnected; ConnectedAt
+// consults the trace first and falls back to the forced state only when
+// no trace is attached. Callers that need time-dependent state must go
+// through ConnectedAt — Connected reports only the static flag.
 package ble
 
 import (
@@ -31,6 +44,10 @@ type Link struct {
 	PacketOverheadSeconds float64
 	// RadioPower is the board-side power while the radio is busy.
 	RadioPower power.Power
+	// SupervisionRetransmits is the consecutive-failure budget of one
+	// packet before TransmitLossy declares a supervision-timeout drop
+	// (0 means DefaultSupervisionRetransmits).
+	SupervisionRetransmits int
 
 	connected bool
 	trace     *ConnectivityTrace
@@ -45,9 +62,10 @@ func New() *Link {
 		// pure payload airtime is 2048·8/2 Mbit ≈ 8.192 ms, so each packet
 		// carries (10.24 − 8.192)/9 ≈ 0.2276 ms of overhead (headers,
 		// inter-frame spaces, acknowledgement).
-		PacketOverheadSeconds: (10.24e-3 - WindowBytes*8/2e6) / 9,
-		RadioPower:            power.Power(0.52e-3 / 10.24e-3), // ≈50.8 mW
-		connected:             true,
+		PacketOverheadSeconds:  (10.24e-3 - WindowBytes*8/2e6) / 9,
+		RadioPower:             power.Power(0.52e-3 / 10.24e-3), // ≈50.8 mW
+		SupervisionRetransmits: DefaultSupervisionRetransmits,
+		connected:              true,
 	}
 }
 
@@ -76,17 +94,28 @@ func (l *Link) WindowTransmitEnergy() power.Energy {
 	return l.TransmitEnergy(WindowBytes)
 }
 
-// Connected reports the current link state.
+// Connected reports the static link state only. Time-dependent callers
+// (the simulator) must use ConnectedAt, which also honours an attached
+// trace.
 func (l *Link) Connected() bool { return l.connected }
 
-// SetConnected forces the link state (used by tests and scenarios).
+// SetConnected forces the static link state (used by tests and
+// scenarios). An attached trace takes precedence over it — detach with
+// UseTrace(nil) first to make a forced state observable via ConnectedAt.
 func (l *Link) SetConnected(up bool) { l.connected = up }
 
-// UseTrace attaches a connectivity trace; ConnectedAt then follows it.
+// UseTrace attaches a connectivity trace; ConnectedAt then follows it,
+// overriding any state forced with SetConnected, until UseTrace(nil)
+// detaches it again.
 func (l *Link) UseTrace(tr *ConnectivityTrace) { l.trace = tr }
 
-// ConnectedAt reports the link state at an absolute time. Without a trace
-// it returns the static state.
+// Trace returns the attached connectivity trace (nil when none).
+func (l *Link) Trace() *ConnectivityTrace { return l.trace }
+
+// ConnectedAt reports the link state at an absolute time: the attached
+// trace when one is present, otherwise the static (possibly forced)
+// state. This is the single authority on link state for time-based
+// callers; sim.Run routes all connectivity decisions through it.
 func (l *Link) ConnectedAt(t float64) bool {
 	if l.trace == nil {
 		return l.connected
@@ -102,8 +131,13 @@ type ConnectivityTrace struct {
 	startUp bool
 }
 
-// NewConnectivityTrace builds a trace from toggle times.
+// NewConnectivityTrace builds a trace from toggle times, which must be
+// non-negative and strictly increasing. An empty toggle list is valid:
+// the link holds its start state forever.
 func NewConnectivityTrace(startUp bool, toggles ...float64) (*ConnectivityTrace, error) {
+	if len(toggles) > 0 && toggles[0] < 0 {
+		return nil, fmt.Errorf("ble: toggle times must be non-negative")
+	}
 	for i := 1; i < len(toggles); i++ {
 		if toggles[i] <= toggles[i-1] {
 			return nil, fmt.Errorf("ble: toggle times must be strictly increasing")

@@ -96,3 +96,76 @@ func TestLinkWithTrace(t *testing.T) {
 		t.Error("trace after toggle should be down")
 	}
 }
+
+func TestTracePrecedenceOverForcedState(t *testing.T) {
+	// An attached trace wins over SetConnected; detaching restores the
+	// forced state as the ConnectedAt answer.
+	l := New()
+	l.SetConnected(false)
+	tr, _ := NewConnectivityTrace(true)
+	l.UseTrace(tr)
+	if l.Trace() != tr {
+		t.Fatal("Trace() does not report the attached trace")
+	}
+	if !l.ConnectedAt(10) {
+		t.Error("attached up-trace should override forced-down state")
+	}
+	if l.Connected() {
+		t.Error("Connected() should still report the static forced state")
+	}
+	l.UseTrace(nil)
+	if l.Trace() != nil || l.ConnectedAt(10) {
+		t.Error("detaching the trace should restore the forced state")
+	}
+}
+
+func TestConnectivityTraceEdges(t *testing.T) {
+	// Toggle exactly at t=0: the start state holds at the instant itself
+	// (toggles apply just after their instant) and flips afterwards.
+	atZero, err := NewConnectivityTrace(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atZero.UpAt(0) {
+		t.Error("UpAt(0) with a toggle at 0 should report the start state")
+	}
+	if atZero.UpAt(0.001) || atZero.UpAt(100) {
+		t.Error("state should flip just after the t=0 toggle")
+	}
+	if got := atZero.UptimeFraction(10); got != 0 {
+		t.Errorf("uptime after an immediate down-toggle = %v, want 0", got)
+	}
+
+	// Empty toggle list: the start state holds forever.
+	empty, err := NewConnectivityTrace(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 1, 1e6} {
+		if empty.UpAt(tt) {
+			t.Errorf("empty down-trace UpAt(%v) = true", tt)
+		}
+	}
+	if got := empty.UptimeFraction(100); got != 0 {
+		t.Errorf("empty down-trace uptime = %v, want 0", got)
+	}
+	emptyUp, _ := NewConnectivityTrace(true)
+	if got := emptyUp.UptimeFraction(100); got != 1 {
+		t.Errorf("empty up-trace uptime = %v, want 1", got)
+	}
+
+	// Horizon far past the last toggle: the final state fills the tail.
+	tail, _ := NewConnectivityTrace(true, 10, 20)
+	// Up [0,10) and [20,100): 90/100.
+	if got := tail.UptimeFraction(100); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("uptime past last toggle = %v, want 0.9", got)
+	}
+
+	// Invalid toggle lists are rejected.
+	if _, err := NewConnectivityTrace(true, 5, 4); err == nil {
+		t.Error("decreasing toggles accepted")
+	}
+	if _, err := NewConnectivityTrace(true, -1, 4); err == nil {
+		t.Error("negative toggle accepted")
+	}
+}

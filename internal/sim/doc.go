@@ -9,8 +9,20 @@
 // (internal/dalia) into a tick loop; the examples/ directory drives it
 // for the battery-life and connection-loss scenarios.
 //
+// With Config.Faults set, the tick loop switches to the fault-injected
+// path: offloads run over a lossy Gilbert–Elliott burst channel through
+// a deadline/retry/backoff protocol, failed windows degrade gracefully
+// to the watch-side fallback model, configuration re-selection moves
+// behind hysteresis, and the injected scenario (internal/faults) adds
+// phone latency spikes, phone unavailability and battery brown-outs.
+// The zero-fault configuration is bitwise identical to the fault-free
+// simulator, and a fixed fault seed replays to an identical Result —
+// both are pinned by tests.
+//
 // Hot paths: the per-window tick loop. It is orders of magnitude lighter
 // than the inference pipeline (no model evaluation — it consumes
-// precomputed records/decisions and energy table lookups), so it has no
-// dedicated BENCH kernels; wall-clock is dominated by the packages above.
+// precomputed records/decisions and energy table lookups), but it is
+// dense enough to matter for long fault sweeps, so BENCH kernels
+// SimRun1h/clean and SimRun1h/faults track its throughput with and
+// without injection (internal/bench).
 package sim

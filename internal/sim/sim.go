@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dalia"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/hw/ble"
 	"repro/internal/hw/power"
@@ -16,7 +17,10 @@ type Config struct {
 	System     *hw.System
 	Engine     *core.Engine
 	Constraint core.Constraint
-	// Trace drives the BLE link state; nil keeps the link up.
+	// Trace drives the BLE link state; nil keeps the link up. The trace
+	// is attached to System.Link for the duration of the run, so all
+	// connectivity decisions flow through Link.ConnectedAt (see the
+	// precedence rule in ble/link.go).
 	Trace *ble.ConnectivityTrace
 	// Windows are replayed cyclically as the sensor stream.
 	Windows []dalia.Window
@@ -27,6 +31,65 @@ type Config struct {
 	Battery *power.Battery
 	// IncludeSensors charges the PPG/IMU front end to the watch budget.
 	IncludeSensors bool
+	// Faults, when non-nil, turns on the lossy-link machinery: per-packet
+	// Gilbert–Elliott loss with retransmissions and supervision timeouts,
+	// the offload deadline/retry/backoff protocol with graceful
+	// degradation to the watch-side model, reselection hysteresis, phone
+	// latency spikes/unavailability and battery brown-outs. A nil Faults
+	// (or the faults.None scenario) reproduces the fault-free simulator
+	// bitwise.
+	Faults *faults.Injector
+	// Protocol tunes the offload state machine; the zero value means
+	// DefaultProtocol(). Only consulted when Faults is non-nil.
+	Protocol Protocol
+}
+
+// Protocol parameterizes the offload state machine and the reselection
+// hysteresis used when fault injection is active.
+type Protocol struct {
+	// DeadlineFraction bounds the whole offload pipeline for one window
+	// (transmit + retries + response) to this fraction of the prediction
+	// period; past it the window degrades to the watch-side model.
+	DeadlineFraction float64
+	// AttemptTimeoutSeconds is the longest the watch waits for the phone
+	// response of a single attempt before declaring it timed out.
+	AttemptTimeoutSeconds float64
+	// MaxRetries bounds re-attempts after the first transmission.
+	MaxRetries int
+	// BackoffSeconds is the wait before the first retry; it doubles with
+	// every further retry.
+	BackoffSeconds float64
+	// FailWindows is the hysteresis threshold: consecutive degraded
+	// windows before the engine reselects away from hybrid configs.
+	FailWindows int
+	// RecoverWindows is the opposite threshold: consecutive healthy
+	// windows before the engine returns to the full configuration store.
+	RecoverWindows int
+	// CooldownWindows freezes reselection for this many windows after
+	// any hysteresis-driven switch, so bursty links cannot thrash the
+	// engine.
+	CooldownWindows int
+	// ReconnectSeconds is how long the link stays unusable after a
+	// supervision-timeout drop while the stack re-establishes the
+	// connection.
+	ReconnectSeconds float64
+}
+
+// DefaultProtocol returns the calibrated defaults: a 50 % period
+// deadline, 250 ms per-attempt response timeout, two retries backing off
+// from 50 ms, 3-fail/5-recover hysteresis with a 10-window cooldown, and
+// a 6 s reconnect after a supervision drop.
+func DefaultProtocol() Protocol {
+	return Protocol{
+		DeadlineFraction:      0.5,
+		AttemptTimeoutSeconds: 0.25,
+		MaxRetries:            2,
+		BackoffSeconds:        0.05,
+		FailWindows:           3,
+		RecoverWindows:        5,
+		CooldownWindows:       10,
+		ReconnectSeconds:      6,
+	}
 }
 
 // Breakdown splits the watch-side energy by component.
@@ -56,6 +119,37 @@ type Result struct {
 	BatteryExhausted bool
 	FinalSoC         float64
 	ActiveConfig     string
+
+	// Robustness counters, populated only when Config.Faults is set.
+
+	// FaultScenario and FaultSeed identify the injected scenario.
+	FaultScenario string
+	FaultSeed     uint64
+	// Retries counts offload re-attempts after a timeout.
+	Retries int
+	// Timeouts counts attempts abandoned without a timely phone response.
+	Timeouts int
+	// SupervisionDrops counts transfers killed by the supervision-timeout
+	// rule (sustained packet loss converted into a link drop).
+	SupervisionDrops int
+	// FallbackWindows counts windows gracefully degraded to the
+	// watch-side fallback model after the offload pipeline failed.
+	FallbackWindows int
+	// DeadlineMisses counts windows whose attempted offload produced no
+	// usable phone result within the response deadline.
+	DeadlineMisses int
+	// RetransmitPackets counts packets re-sent due to loss.
+	RetransmitPackets int
+	// RetransmitEnergy is the radio energy spent beyond the lossless
+	// per-window streaming cost (retransmissions and wasted transfers).
+	RetransmitEnergy power.Energy
+	// BrownOutEnergy is the battery drain injected by brown-out events.
+	BrownOutEnergy power.Energy
+	// FaultWindows counts predicted windows whose outcome was touched by
+	// a fault (loss, retry, timeout, fallback, forced-down link);
+	// FaultMAE is the MAE over exactly those windows.
+	FaultWindows int
+	FaultMAE     float64
 }
 
 // Run executes the scenario.
@@ -68,20 +162,32 @@ func Run(cfg Config) (Result, error) {
 	case cfg.DurationSeconds <= 0:
 		return Result{}, fmt.Errorf("sim: non-positive duration")
 	}
+	// All link-state decisions flow through Link.ConnectedAt: attach the
+	// scenario trace for the duration of the run and restore the previous
+	// one (usually nil) afterwards.
+	if cfg.Trace != nil {
+		prev := cfg.System.Link.Trace()
+		cfg.System.Link.UseTrace(cfg.Trace)
+		defer cfg.System.Link.UseTrace(prev)
+	}
+	if cfg.Faults != nil {
+		return runFaults(cfg)
+	}
+	return runClean(cfg)
+}
+
+// runClean is the fault-free tick loop: lossless instant-acknowledged
+// transfers and immediate reselection on link transitions. Its numeric
+// behaviour is the bitwise baseline the fault path must reproduce when
+// the injected scenario is empty (see TestRunZeroFaultScenarioMatchesClean).
+func runClean(cfg Config) (Result, error) {
 	sys := cfg.System
 	period := sys.PeriodSeconds
-
-	linkUp := func(t float64) bool {
-		if cfg.Trace != nil {
-			return cfg.Trace.UpAt(t)
-		}
-		return sys.Link.Connected()
-	}
 
 	var res Result
 	var absErrSum float64
 	busyUntil := 0.0
-	lastLink := linkUp(0)
+	lastLink := sys.Link.ConnectedAt(0)
 	current, err := cfg.Engine.SelectConfig(lastLink, cfg.Constraint)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
@@ -91,7 +197,7 @@ func Run(cfg Config) (Result, error) {
 	wi := 0
 	for t := 0.0; t < cfg.DurationSeconds; t += period {
 		res.SimulatedSeconds = t + period
-		up := linkUp(t)
+		up := sys.Link.ConnectedAt(t)
 		if up != lastLink {
 			next, err := cfg.Engine.SelectConfig(up, cfg.Constraint)
 			if err != nil {
@@ -123,6 +229,7 @@ func Run(cfg Config) (Result, error) {
 			// Previous local inference still running: this window is
 			// dropped; its compute energy was charged when it started.
 			res.SkippedWindows++
+			windowWatch += chargeSkippedIdle(&res, sys, t, busyUntil, period)
 		} else {
 			d := cfg.Engine.Predict(&current, w)
 			res.Predictions++
@@ -160,7 +267,7 @@ func Run(cfg Config) (Result, error) {
 			if err := cfg.Battery.Drain(drain); err != nil {
 				res.BatteryExhausted = true
 				res.FinalSoC = cfg.Battery.SoC()
-				res.finish(absErrSum)
+				res.finish(absErrSum, 0)
 				return res, nil
 			}
 		}
@@ -168,12 +275,275 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Battery != nil {
 		res.FinalSoC = cfg.Battery.SoC()
 	}
-	res.finish(absErrSum)
+	res.finish(absErrSum, 0)
 	return res, nil
 }
 
-func (r *Result) finish(absErrSum float64) {
+// chargeSkippedIdle closes the idle-accounting gap of skipped windows:
+// the active burst that causes a skip is charged in full when it starts,
+// but once it finishes mid-window the remainder of that window is MCU
+// idle time and must be charged too, so that every simulated second is
+// charged at exactly one MCU rate (TestRunIdleCoverageInvariant pins
+// this).
+func chargeSkippedIdle(res *Result, sys *hw.System, t, busyUntil, period float64) power.Energy {
+	idle := t + period - busyUntil
+	if idle <= 0 {
+		return 0
+	}
+	idleE := sys.MCU.IdlePower.Over(idle)
+	res.Watch.Idle += idleE
+	return idleE
+}
+
+// runFaults is the fault-injected tick loop: dispatch runs against a
+// lossy burst channel through the retry/timeout/backoff protocol, failed
+// windows degrade gracefully to the watch-side fallback model, and
+// reselection moves behind hysteresis so link blips cannot thrash the
+// engine. With an empty scenario every branch below reduces to the exact
+// arithmetic of runClean.
+func runFaults(cfg Config) (Result, error) {
+	sys := cfg.System
+	period := sys.PeriodSeconds
+	proto := cfg.Protocol
+	if proto == (Protocol{}) {
+		proto = DefaultProtocol()
+	}
+	deadline := proto.DeadlineFraction * period
+	inj := cfg.Faults
+	rng := inj.Rand()
+	ch := &ble.Channel{}
+
+	var res Result
+	res.FaultScenario = inj.Scenario().Name
+	res.FaultSeed = inj.Seed()
+
+	var absErrSum, faultAbsErrSum float64
+	busyUntil := 0.0
+	linkDownUntil := 0.0 // reconnect holdoff after a supervision drop
+	rawUp := func(t float64) bool {
+		return t >= linkDownUntil && sys.Link.ConnectedAt(t) && !inj.ForcedDown(t)
+	}
+
+	engineUp := rawUp(0)
+	current, err := cfg.Engine.SelectConfig(engineUp, cfg.Constraint)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
+	}
+	res.ActiveConfig = current.Name()
+	failStreak, goodStreak, cooldown := 0, 0, 0
+
+	wi := 0
+	for t := 0.0; t < cfg.DurationSeconds; t += period {
+		res.SimulatedSeconds = t + period
+		up := rawUp(t)
+		if !up {
+			res.LinkDownWindows++
+		}
+
+		w := &cfg.Windows[wi%len(cfg.Windows)]
+		wi++
+
+		var windowWatch power.Energy
+		if cfg.IncludeSensors {
+			se := sys.SensorWindowEnergy()
+			res.Watch.Sensors += se
+			windowWatch += se
+		}
+
+		windowFault := false
+		if t < busyUntil {
+			res.SkippedWindows++
+			windowWatch += chargeSkippedIdle(&res, sys, t, busyUntil, period)
+		} else {
+			d := cfg.Engine.Dispatch(&current, w)
+			var hr, busy float64
+			degraded, attempted := false, false
+
+			switch {
+			case d.Offloaded && up:
+				// Offload protocol state machine: transmit over the
+				// burst channel, await the phone response under the
+				// attempt timeout, retry with exponential backoff inside
+				// the window deadline, then degrade.
+				attempted = true
+				elapsed := 0.0
+				success := false
+				cleanTx := sys.Link.WindowTransmitEnergy()
+			attempts:
+				for attempt := 0; ; attempt++ {
+					ch.SetParams(inj.ChannelAt(t))
+					tr := sys.Link.TransmitLossy(ble.WindowBytes, ch, rng)
+					res.Watch.Radio += tr.Energy
+					windowWatch += tr.Energy
+					busy += tr.Seconds
+					elapsed += tr.Seconds
+					res.RetransmitPackets += tr.Retransmits
+					if tr.Retransmits > 0 || !tr.Delivered {
+						windowFault = true
+					}
+					if tr.Delivered {
+						res.RetransmitEnergy += tr.Energy - cleanTx
+					} else {
+						res.RetransmitEnergy += tr.Energy
+					}
+					if !tr.Delivered {
+						// Supervision timeout: the connection is gone;
+						// no retry can succeed until the stack
+						// reconnects.
+						res.SupervisionDrops++
+						linkDownUntil = t + proto.ReconnectSeconds
+						break attempts
+					}
+					if inj.PhoneAvailable(t) {
+						resp := sys.Phone.ComputeSeconds(d.Model) + inj.ResponseLatency(t)
+						// The phone computes even when its reply will
+						// arrive late; that energy is spent either way.
+						res.PhoneEnergy += sys.PhoneEnergy(d.Model)
+						if resp <= proto.AttemptTimeoutSeconds {
+							if elapsed+resp <= deadline {
+								success = true
+								break attempts
+							}
+							// Response in time for the attempt but past
+							// the window deadline: retrying cannot help.
+							res.Timeouts++
+							windowFault = true
+							break attempts
+						}
+					}
+					res.Timeouts++
+					windowFault = true
+					elapsed += proto.AttemptTimeoutSeconds
+					if attempt >= proto.MaxRetries {
+						break attempts
+					}
+					back := proto.BackoffSeconds * float64(uint(1)<<uint(attempt))
+					if elapsed+back >= deadline {
+						break attempts
+					}
+					elapsed += back
+					res.Retries++
+				}
+				if success {
+					hr = d.Model.EstimateHR(w)
+					res.Offloaded++
+				} else {
+					degraded = true
+				}
+			case d.Offloaded && !up:
+				// The stack knows the link is down: nothing is
+				// transmitted, the window degrades immediately.
+				degraded = true
+				windowFault = true
+			default:
+				hr = d.Model.EstimateHR(w)
+				if d.Model.Name() == current.Simple.Name() {
+					res.SimpleRuns++
+				}
+				busy += sys.MCU.ComputeSeconds(d.Model)
+				compute := sys.MCU.ActiveEnergy(d.Model)
+				res.Watch.Compute += compute
+				windowWatch += compute
+			}
+
+			if degraded {
+				// Graceful degradation: the configuration's watch-side
+				// simple model covers the window locally.
+				res.FallbackWindows++
+				if attempted {
+					res.DeadlineMisses++
+				}
+				windowFault = true
+				hr = current.Simple.EstimateHR(w)
+				res.SimpleRuns++
+				busy += sys.MCU.ComputeSeconds(current.Simple)
+				compute := sys.MCU.ActiveEnergy(current.Simple)
+				res.Watch.Compute += compute
+				windowWatch += compute
+			}
+
+			res.Predictions++
+			e := models.AbsError(hr, w.TrueHR)
+			absErrSum += e
+			if windowFault {
+				res.FaultWindows++
+				faultAbsErrSum += e
+			}
+			busyUntil = t + busy
+			idle := period - busy
+			if idle > 0 {
+				idleE := sys.MCU.IdlePower.Over(idle)
+				res.Watch.Idle += idleE
+				windowWatch += idleE
+			}
+		}
+
+		// Reselection hysteresis: the engine leaves hybrid only after
+		// FailWindows consecutive degraded/down windows, returns after
+		// RecoverWindows healthy ones, and holds still through the
+		// cooldown after any switch.
+		if up && !windowFault {
+			goodStreak++
+			failStreak = 0
+		} else {
+			failStreak++
+			goodStreak = 0
+		}
+		if cooldown > 0 {
+			cooldown--
+		} else if engineUp && failStreak >= proto.FailWindows {
+			next, err := cfg.Engine.SelectConfig(false, cfg.Constraint)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: degraded re-selection at t=%.1f: %w", t, err)
+			}
+			current = next
+			res.ActiveConfig = current.Name()
+			res.Reselections++
+			engineUp = false
+			cooldown = proto.CooldownWindows
+			failStreak = 0
+		} else if !engineUp && goodStreak >= proto.RecoverWindows {
+			next, err := cfg.Engine.SelectConfig(true, cfg.Constraint)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: recovery re-selection at t=%.1f: %w", t, err)
+			}
+			current = next
+			res.ActiveConfig = current.Name()
+			res.Reselections++
+			engineUp = true
+			cooldown = proto.CooldownWindows
+			goodStreak = 0
+		}
+
+		if cfg.Battery != nil {
+			// Brown-outs hit the battery directly (a voltage sag from a
+			// concurrent load), bypassing the converter.
+			drain := sys.BatteryDrainPerWindow(windowWatch)
+			if bo := inj.BrownOutBetween(t, t+period); bo > 0 {
+				res.BrownOutEnergy += bo
+				drain += bo
+			}
+			res.BatteryDrain += drain
+			if err := cfg.Battery.Drain(drain); err != nil {
+				res.BatteryExhausted = true
+				res.FinalSoC = cfg.Battery.SoC()
+				res.finish(absErrSum, faultAbsErrSum)
+				return res, nil
+			}
+		}
+	}
+	if cfg.Battery != nil {
+		res.FinalSoC = cfg.Battery.SoC()
+	}
+	res.finish(absErrSum, faultAbsErrSum)
+	return res, nil
+}
+
+func (r *Result) finish(absErrSum, faultAbsErrSum float64) {
 	if r.Predictions > 0 {
 		r.MAE = absErrSum / float64(r.Predictions)
+	}
+	if r.FaultWindows > 0 {
+		r.FaultMAE = faultAbsErrSum / float64(r.FaultWindows)
 	}
 }
