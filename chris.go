@@ -73,6 +73,7 @@ import (
 	"repro/internal/models/at"
 	"repro/internal/models/rf"
 	"repro/internal/models/tcn"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -233,6 +234,49 @@ type (
 	FaultInjector = faults.Injector
 	// BurstChannelParams parameterizes the Gilbert–Elliott loss channel.
 	BurstChannelParams = faults.ChannelParams
+)
+
+// Streaming-engine re-exports (internal/serve: the fault-tolerant
+// multi-session inference server — bounded per-session mailboxes, a
+// cross-session batch coalescer, explicit overload degradation, panic
+// supervision and an injectable clock; see cmd/chrisserve and
+// examples/streaming).
+type (
+	// ServeConfig parameterizes the streaming engine.
+	ServeConfig = serve.Config
+	// ServeEngine multiplexes concurrent user sessions over one model zoo.
+	ServeEngine = serve.Engine
+	// ServeSession is one user's isolated stream.
+	ServeSession = serve.Session
+	// ServeResult is the engine's answer for one submitted window.
+	ServeResult = serve.WindowResult
+	// ServeStats aggregates one session's robustness counters.
+	ServeStats = serve.SessionStats
+	// ServeOutcome places a window on the overload ladder.
+	ServeOutcome = serve.Outcome
+	// ServeClock is the engine's injectable time source.
+	ServeClock = serve.Clock
+	// ServeVirtualClock drives deterministic lockstep runs.
+	ServeVirtualClock = serve.VirtualClock
+)
+
+var (
+	// OpenServeEngine starts a streaming engine (wall-clock server mode,
+	// or deterministic lockstep under a ServeVirtualClock).
+	OpenServeEngine = serve.Open
+	// NewServeVirtualClock returns a manually advanced clock at t=0.
+	NewServeVirtualClock = serve.NewVirtualClock
+)
+
+// Overload-ladder outcomes (see serve.Outcome).
+const (
+	ServeOutcomeFull     = serve.OutcomeFull
+	ServeOutcomeSimple   = serve.OutcomeSimple
+	ServeOutcomeFallback = serve.OutcomeFallback
+	ServeOutcomeShed     = serve.OutcomeShed
+	ServeOutcomeExpired  = serve.OutcomeExpired
+	ServeOutcomeLate     = serve.OutcomeLate
+	ServeOutcomePanic    = serve.OutcomePanic
 )
 
 var (

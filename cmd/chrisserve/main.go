@@ -1,0 +1,325 @@
+// Command chrisserve runs the streaming multi-session inference engine
+// (internal/serve): many simulated users submit PPG windows
+// concurrently, the engine coalesces them into wide GEMM batches, and
+// per-session robustness — backpressure, shedding, deadline discard,
+// panic supervision — is exercised end to end.
+//
+// Usage:
+//
+//	chrisserve [-quick] [-sessions 32] [-seconds 10] [-rate 100]
+//	           [-faults commute|gym|worstcase|none] [-seed 1]
+//	           [-mae 6.0] [-virtual] [-cycles 64] [-json] [-v]
+//
+// Two clocks, one engine:
+//
+//   - wall mode (default) free-runs the pump at real time, accelerated
+//     by -rate (a rate of 100 submits the 2-second prediction windows
+//     every 20 ms), and reports p50/p99 window latency and
+//     sessions-per-core at steady state;
+//   - -virtual runs the identical machinery in deterministic lockstep:
+//     the same -sessions/-cycles/-faults/-seed always produce
+//     byte-identical -json output, which CI uses as a replay gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/faults"
+	"repro/internal/hw/power"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chrisserve: ")
+
+	quick := flag.Bool("quick", true, "use the scaled-down pipeline (fast)")
+	nSessions := flag.Int("sessions", 32, "concurrent user sessions")
+	seconds := flag.Float64("seconds", 10, "wall-mode run duration")
+	rate := flag.Float64("rate", 100, "wall-mode speedup over the 2 s window period")
+	faultsName := flag.String("faults", "", "fault scenario: "+listScenarios()+" (empty = fault-free)")
+	seed := flag.Int64("seed", 1, "fault-injection seed (replayable, non-negative)")
+	maeBound := flag.Float64("mae", 0, "MAE constraint in BPM (0 = use energy bound)")
+	energyBound := flag.Float64("energy", 0.3, "energy constraint in mJ when -mae is 0")
+	virtual := flag.Bool("virtual", false, "deterministic lockstep mode (virtual clock)")
+	cycles := flag.Int("cycles", 64, "lockstep cycles in -virtual mode")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	// Validate cheap inputs before the expensive suite build.
+	var scenario *faults.Scenario
+	if *faultsName != "" {
+		sc, ok := faults.ByName(*faultsName)
+		if !ok {
+			log.Fatalf("unknown fault scenario %q (have %s)", *faultsName, listScenarios())
+		}
+		scenario = &sc
+	}
+	if *seed < 0 {
+		log.Fatalf("-seed %d is negative; seeds are non-negative", *seed)
+	}
+	if *nSessions < 1 {
+		log.Fatalf("-sessions %d < 1", *nSessions)
+	}
+	if *rate <= 0 {
+		log.Fatalf("-rate %g must be positive", *rate)
+	}
+
+	cfg := bench.DefaultSuiteConfig()
+	if *quick {
+		cfg = bench.QuickSuiteConfig()
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...interface{}) { log.Printf(format, args...) }
+	}
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := core.NewEngine(suite.Profiles, suite.Classifier)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	constraint := core.EnergyConstraint(power.MilliJoules(*energyBound))
+	if *maeBound > 0 {
+		constraint = core.MAEConstraint(*maeBound)
+	}
+	sCfg := serve.Config{
+		Engine:     engine,
+		System:     suite.Sys,
+		Constraint: constraint,
+		Faults:     scenario,
+		FaultSeed:  uint64(*seed),
+	}
+
+	var rep report
+	if *virtual {
+		rep, err = runVirtual(sCfg, suite.TestWindows, *nSessions, *cycles)
+	} else {
+		rep, err = runWall(sCfg, suite.TestWindows, *nSessions, *seconds, *rate, *verbose)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	rep.print()
+}
+
+// sessionReport is one session's slice of the run output. Results are
+// included only in virtual mode, where they are the replay-gate payload.
+type sessionReport struct {
+	ID      string               `json:"id"`
+	Stats   serve.SessionStats   `json:"stats"`
+	Results []serve.WindowResult `json:"results,omitempty"`
+}
+
+// report is the run summary, stable for -json consumers.
+type report struct {
+	Mode          string          `json:"mode"`
+	Sessions      int             `json:"sessions"`
+	Scenario      string          `json:"scenario"`
+	Seed          uint64          `json:"seed"`
+	Windows       uint64          `json:"windows"`
+	Discarded     uint64          `json:"discarded"`
+	P50LatencyMS  float64         `json:"p50_latency_ms"`
+	P99LatencyMS  float64         `json:"p99_latency_ms"`
+	WindowsPerSec float64         `json:"windows_per_sec,omitempty"`
+	SessionsCore  float64         `json:"sessions_per_core,omitempty"`
+	PerSession    []sessionReport `json:"per_session"`
+}
+
+func (r report) print() {
+	fmt.Printf("mode: %s, %d sessions, scenario %q (seed %d)\n", r.Mode, r.Sessions, r.Scenario, r.Seed)
+	fmt.Printf("windows finished:     %d (%d discarded)\n", r.Windows, r.Discarded)
+	fmt.Printf("window latency:       p50 %.3f ms, p99 %.3f ms\n", r.P50LatencyMS, r.P99LatencyMS)
+	if r.WindowsPerSec > 0 {
+		fmt.Printf("throughput:           %.0f windows/s, %.1f sessions/core\n", r.WindowsPerSec, r.SessionsCore)
+	}
+	var tot serve.SessionStats
+	for _, s := range r.PerSession {
+		tot.FullRuns += s.Stats.FullRuns
+		tot.SimpleRuns += s.Stats.SimpleRuns
+		tot.FallbackWindows += s.Stats.FallbackWindows
+		tot.ShedWindows += s.Stats.ShedWindows
+		tot.Expired += s.Stats.Expired
+		tot.Late += s.Stats.Late
+		tot.Dropped += s.Stats.Dropped
+		tot.Retries += s.Stats.Retries
+		tot.SupervisionDrops += s.Stats.SupervisionDrops
+	}
+	fmt.Printf("outcomes:             full %d, simple %d, fallback %d, shed %d, expired %d, late %d, dropped %d\n",
+		tot.FullRuns, tot.SimpleRuns, tot.FallbackWindows, tot.ShedWindows, tot.Expired, tot.Late, tot.Dropped)
+	fmt.Printf("offload faults:       %d retries, %d supervision drops\n", tot.Retries, tot.SupervisionDrops)
+}
+
+// runVirtual is the lockstep replay: one window per session per cycle,
+// deterministic byte-for-byte under equal flags.
+func runVirtual(cfg serve.Config, ws []dalia.Window, nSessions, cycles int) (report, error) {
+	vc := serve.NewVirtualClock()
+	cfg.Clock = vc
+	e, err := serve.Open(cfg)
+	if err != nil {
+		return report{}, err
+	}
+	sessions := make([]*serve.Session, nSessions)
+	for i := range sessions {
+		s, err := e.NewSession(fmt.Sprintf("u%04d", i))
+		if err != nil {
+			return report{}, err
+		}
+		sessions[i] = s
+	}
+	for c := 0; c < cycles; c++ {
+		for i, s := range sessions {
+			w := &ws[(i*cycles+c)%len(ws)]
+			s.Submit(w, vc.Now())
+		}
+		e.Tick()
+		vc.Advance(cfg.System.PeriodSeconds)
+	}
+	if err := e.Close(); err != nil {
+		return report{}, err
+	}
+	rep := report{Mode: "virtual", Sessions: nSessions, Seed: cfg.FaultSeed, Scenario: scenarioName(cfg)}
+	var lat []float64
+	for _, s := range sessions {
+		res := s.Drain()
+		st := s.Stats()
+		rep.Windows += st.Finished()
+		for _, r := range res {
+			if r.Outcome.Discarded() {
+				rep.Discarded++
+			}
+			lat = append(lat, r.Latency)
+		}
+		rep.PerSession = append(rep.PerSession, sessionReport{ID: s.ID(), Stats: st, Results: res})
+	}
+	rep.P50LatencyMS = percentile(lat, 0.50) * 1e3
+	rep.P99LatencyMS = percentile(lat, 0.99) * 1e3
+	return rep, nil
+}
+
+// runWall free-runs the engine against real time with per-session
+// submitter goroutines at the accelerated window period.
+func runWall(cfg serve.Config, ws []dalia.Window, nSessions int, seconds, rate float64, verbose bool) (report, error) {
+	cfg.FlushSeconds = cfg.System.PeriodSeconds / rate / 4
+	e, err := serve.Open(cfg)
+	if err != nil {
+		return report{}, err
+	}
+	sessions := make([]*serve.Session, nSessions)
+	for i := range sessions {
+		s, err := e.NewSession(fmt.Sprintf("u%04d", i))
+		if err != nil {
+			return report{}, err
+		}
+		sessions[i] = s
+	}
+	period := time.Duration(cfg.System.PeriodSeconds / rate * float64(time.Second))
+	stop := make(chan struct{})
+	time.AfterFunc(time.Duration(seconds*float64(time.Second)), func() { close(stop) })
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *serve.Session) {
+			defer wg.Done()
+			t := time.NewTicker(period)
+			defer t.Stop()
+			k := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+				}
+				s.SubmitNow(&ws[(i+k*nSessions)%len(ws)])
+				k++
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err := e.Close(); err != nil {
+		return report{}, err
+	}
+	rep := report{Mode: "wall", Sessions: nSessions, Seed: cfg.FaultSeed, Scenario: scenarioName(cfg)}
+	var lat []float64
+	for _, s := range sessions {
+		res := s.Drain()
+		st := s.Stats()
+		rep.Windows += st.Finished()
+		for _, r := range res {
+			if r.Outcome.Discarded() {
+				rep.Discarded++
+			}
+			lat = append(lat, r.Latency)
+		}
+		// Results are dropped in wall mode: timing-dependent, not replayable.
+		rep.PerSession = append(rep.PerSession, sessionReport{ID: s.ID(), Stats: st})
+	}
+	rep.P50LatencyMS = percentile(lat, 0.50) * 1e3
+	rep.P99LatencyMS = percentile(lat, 0.99) * 1e3
+	if elapsed > 0 {
+		rep.WindowsPerSec = float64(rep.Windows) / elapsed
+		// sessions/core at real-time cadence: how many 2 s streams one
+		// core sustains, extrapolated from the accelerated run.
+		perCoreThroughput := rep.WindowsPerSec / float64(runtime.GOMAXPROCS(0))
+		rep.SessionsCore = perCoreThroughput * cfg.System.PeriodSeconds
+	}
+	if verbose {
+		log.Printf("ran %.2f s at rate %.0f: %d windows", elapsed, rate, rep.Windows)
+	}
+	return rep, nil
+}
+
+func scenarioName(cfg serve.Config) string {
+	if cfg.Faults == nil {
+		return "none"
+	}
+	return cfg.Faults.Name
+}
+
+// percentile returns the q-quantile (0..1) of xs by nearest-rank.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func listScenarios() string {
+	names := faults.Names()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "|"
+		}
+		out += n
+	}
+	return out
+}

@@ -41,11 +41,30 @@ func main() {
 	energyBound := flag.Float64("energy", 0.3, "energy constraint in mJ when -mae is 0")
 	dropout := flag.Float64("dropout", 0, "link dropout period in seconds (0 = always up)")
 	faultsName := flag.String("faults", "", "fault scenario: "+listScenarios()+" (empty = fault-free)")
-	seed := flag.Uint64("seed", 1, "fault-injection seed (replayable)")
+	seed := flag.Int64("seed", 1, "fault-injection seed (replayable, non-negative)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	sensors := flag.Bool("sensors", true, "charge the PPG/IMU front end")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
+
+	// Validate cheap inputs before the expensive suite build: a typo'd
+	// scenario name must fail in milliseconds, not after minutes of
+	// dataset generation and training.
+	var injector *faults.Injector
+	if *seed < 0 {
+		log.Fatalf("-seed %d is negative; seeds are non-negative", *seed)
+	}
+	if *faultsName != "" {
+		sc, ok := faults.ByName(*faultsName)
+		if !ok {
+			log.Fatalf("unknown fault scenario %q (have %s)", *faultsName, listScenarios())
+		}
+		var err error
+		injector, err = faults.NewInjector(sc, uint64(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	cfg := bench.DefaultSuiteConfig()
 	if *quick {
@@ -76,18 +95,6 @@ func main() {
 			toggles = append(toggles, t, t+*dropout/4)
 		}
 		trace, err = ble.NewConnectivityTrace(true, toggles...)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var injector *faults.Injector
-	if *faultsName != "" {
-		sc, ok := faults.ByName(*faultsName)
-		if !ok {
-			log.Fatalf("unknown fault scenario %q (have %s)", *faultsName, listScenarios())
-		}
-		injector, err = faults.NewInjector(sc, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,6 +30,7 @@ type BenchReport struct {
 	SuiteConfig  string             `json:"suite_config"`
 	Kernels      []KernelResult     `json:"kernels"`
 	BuildRecords RecordScaling      `json:"build_records"`
+	Serve        ServeMetrics       `json:"serve"`
 	Headline     map[string]float64 `json:"headline"`
 }
 
@@ -52,6 +53,10 @@ func BuildBenchReport(s *Suite) (BenchReport, error) {
 		return BenchReport{}, err
 	}
 	rep.BuildRecords = scaling
+
+	if rep.Serve, err = MeasureServe(); err != nil {
+		return BenchReport{}, err
+	}
 
 	for _, a := range []Artifact{TableI(s), Fig5(s)} {
 		for k, v := range a.Metrics {

@@ -358,7 +358,8 @@ func KernelBenchmarks() []KernelResult {
 		}),
 	}
 	results = append(results, cacheKernels()...)
-	return append(results, simKernels()...)
+	results = append(results, simKernels()...)
+	return append(results, serveKernels()...)
 }
 
 // cacheRecordCount sizes the record-cache kernels: large enough that the

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioValidate drives the strict JSON codec and, for every
+// scenario that survives validation, exercises the injector's query
+// surface: a validated scenario must never make a query panic, loop
+// without bound, or fail to round-trip through the encoder.
+func FuzzScenarioValidate(f *testing.F) {
+	for _, name := range Names() {
+		sc, _ := ByName(name)
+		if data, err := EncodeScenario(sc); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"Name":"x","PeriodSeconds":60,"Flaps":[{"From":1,"To":2}]}`))
+	f.Add([]byte(`{"PeriodSeconds":1e-9}`))
+	f.Add([]byte(`{"Loss":[{"From":0,"Channel":{"GoodLoss":1.5}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		// Round trip: a scenario the parser accepts must re-encode and
+		// re-parse to the same value.
+		enc, err := EncodeScenario(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario fails to encode: %v", err)
+		}
+		back, err := ParseScenario(enc)
+		if err != nil {
+			t.Fatalf("re-encoded scenario fails to parse: %v", err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip changed the scenario:\n  in  %+v\n  out %+v", sc, back)
+		}
+		inj, err := NewInjector(sc, 1)
+		if err != nil {
+			t.Fatalf("validated scenario rejected by NewInjector: %v", err)
+		}
+		for _, at := range []float64{0, 0.5, 1, 59.9, 3600, 1e9} {
+			inj.ChannelAt(at)
+			inj.ForcedDown(at)
+			inj.ResponseLatency(at)
+			inj.PhoneAvailable(at)
+		}
+		// Bounded brown-out window: ≤ 10 repetitions of the script, so the
+		// per-occurrence iteration stays cheap even for tiny valid periods.
+		horizon := 1e6
+		if sc.PeriodSeconds > 0 {
+			horizon = 10 * sc.PeriodSeconds
+		}
+		inj.BrownOutBetween(0, horizon)
+	})
+}

@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ParseScenario decodes a JSON fault script and validates it. The codec
+// is strict — unknown fields and trailing data are errors — because a
+// silently ignored typo in a chaos script ("Flapz") would run a
+// different experiment than the one written down. The JSON shape is the
+// Scenario struct itself, e.g.:
+//
+//	{
+//	  "Name": "tunnel",
+//	  "PeriodSeconds": 600,
+//	  "Flaps": [{"From": 100, "To": 130}],
+//	  "Loss": [{"From": 0, "Channel": {"GoodLoss": 0.01, "BadLoss": 0.6,
+//	             "GoodToBad": 0.05, "BadToGood": 0.3}}]
+//	}
+func ParseScenario(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("faults: parse scenario: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || dec.More() {
+		return Scenario{}, fmt.Errorf("faults: trailing data after scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// EncodeScenario renders a scenario as indented JSON, the inverse of
+// ParseScenario.
+func EncodeScenario(sc Scenario) ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(sc, "", "  ")
+}

@@ -81,15 +81,45 @@ type Scenario struct {
 	BrownOuts []BrownOut
 }
 
-// Validate checks the scenario's structural invariants.
+// minPeriodSeconds bounds repeating scenarios away from degenerate
+// periods: a sub-millisecond repetition has no physical meaning and
+// would make per-occurrence iteration (BrownOutBetween) unboundedly
+// expensive over a simulation window.
+const minPeriodSeconds = 1e-3
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func validProb(p float64) bool { return finite(p) && p >= 0 && p <= 1 }
+
+// Validate checks the scenario's structural invariants. Every numeric
+// field must be finite (NaN compares false against everything, so
+// without explicit checks a NaN timestamp would sail through the
+// ordering checks below and poison the injector's queries).
 func (s Scenario) Validate() error {
-	for i := 1; i < len(s.Loss); i++ {
-		if s.Loss[i].From <= s.Loss[i-1].From {
+	if !finite(s.PeriodSeconds) || s.PeriodSeconds < 0 {
+		return fmt.Errorf("faults: period %v is not a non-negative finite duration", s.PeriodSeconds)
+	}
+	if s.PeriodSeconds > 0 && s.PeriodSeconds < minPeriodSeconds {
+		return fmt.Errorf("faults: period %v shorter than %v s", s.PeriodSeconds, minPeriodSeconds)
+	}
+	for i, seg := range s.Loss {
+		if !finite(seg.From) {
+			return fmt.Errorf("faults: loss segment %d has non-finite start", i)
+		}
+		c := seg.Channel
+		if !validProb(c.GoodLoss) || !validProb(c.BadLoss) ||
+			!validProb(c.GoodToBad) || !validProb(c.BadToGood) {
+			return fmt.Errorf("faults: loss segment %d has channel parameters outside [0,1]", i)
+		}
+		if i > 0 && seg.From <= s.Loss[i-1].From {
 			return fmt.Errorf("faults: loss segments not strictly ascending at %d", i)
 		}
 	}
 	check := func(kind string, ivs []Interval) error {
 		for i, iv := range ivs {
+			if !finite(iv.From) || !finite(iv.To) {
+				return fmt.Errorf("faults: %s interval %d has non-finite bounds", kind, i)
+			}
 			if iv.To <= iv.From {
 				return fmt.Errorf("faults: %s interval %d is empty or inverted", kind, i)
 			}
@@ -103,16 +133,22 @@ func (s Scenario) Validate() error {
 		return err
 	}
 	for i, l := range s.Latency {
+		if !finite(l.From) || !finite(l.To) {
+			return fmt.Errorf("faults: latency interval %d has non-finite bounds", i)
+		}
 		if l.To <= l.From {
 			return fmt.Errorf("faults: latency interval %d is empty or inverted", i)
 		}
-		if l.Extra < 0 {
-			return fmt.Errorf("faults: latency spike %d has negative delay", i)
+		if !finite(l.Extra) || l.Extra < 0 {
+			return fmt.Errorf("faults: latency spike %d has negative or non-finite delay", i)
 		}
 	}
 	for i, b := range s.BrownOuts {
-		if b.Drain < 0 {
-			return fmt.Errorf("faults: brown-out %d has negative drain", i)
+		if !finite(b.At) {
+			return fmt.Errorf("faults: brown-out %d has non-finite time", i)
+		}
+		if !finite(float64(b.Drain)) || b.Drain < 0 {
+			return fmt.Errorf("faults: brown-out %d has negative or non-finite drain", i)
 		}
 		if s.PeriodSeconds > 0 && (b.At < 0 || b.At >= s.PeriodSeconds) {
 			return fmt.Errorf("faults: brown-out %d outside the scenario period", i)

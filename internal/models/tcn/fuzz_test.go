@@ -1,0 +1,45 @@
+package tcn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the weight-file loader. Load must
+// never panic or accept a file whose topology it cannot name; a valid
+// file perturbed by truncation, appended garbage, or non-finite weights
+// must be rejected, not silently half-loaded.
+func FuzzLoad(f *testing.F) {
+	net := NewTimePPGSmall()
+	net.InitWeights(1)
+	path := filepath.Join(f.TempDir(), "seed.tcnw")
+	if err := Save(net, path); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0xAA))
+	f.Add([]byte("TCNW"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "w.tcnw")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		n, err := Load(p)
+		if err != nil {
+			return
+		}
+		if n.Topology != SmallName && n.Topology != BigName {
+			t.Fatalf("Load accepted unknown topology %q", n.Topology)
+		}
+		if len(data) > len(valid) && string(data[:len(valid)]) == string(valid) {
+			t.Fatalf("Load accepted %d trailing bytes after a valid file", len(data)-len(valid))
+		}
+	})
+}

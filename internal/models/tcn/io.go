@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -138,6 +139,18 @@ func Load(path string) (*Network, error) {
 		if err := binary.Read(r, binary.LittleEndian, p.W); err != nil {
 			return nil, err
 		}
+		for i, v := range p.W {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return nil, fmt.Errorf("tcn: parameter %q element %d is not finite", name, i)
+			}
+		}
+	}
+	// A weight file is exactly its parameters: trailing bytes mean the
+	// file was written by something else (or corrupted past the point the
+	// per-parameter checks can see), so refuse it rather than silently
+	// ignoring the tail.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("tcn: %s has trailing data after last parameter", path)
 	}
 	return net, nil
 }

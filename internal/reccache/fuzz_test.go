@@ -1,0 +1,35 @@
+package reccache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderHeader throws arbitrary bytes at the header/table parser.
+// parseMeta must never panic, and any prefix it accepts must be exactly
+// what metaBytes would write for the recovered (names, capacity, count)
+// — the layout is a pure function of those, so parse ∘ render must be
+// the identity on the meta region.
+func FuzzReaderHeader(f *testing.F) {
+	l, err := makeLayout([]string{"rf_small", "tcn_big"}, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(l.metaBytes(7))
+	f.Add(l.metaBytes(0)[:headerSize])
+	f.Add([]byte("RCC1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, count, err := parseMeta(data)
+		if err != nil {
+			return
+		}
+		end := l.nameOff + l.nameLen // dataOff minus alignment padding
+		if uint64(len(data)) < end {
+			t.Fatalf("parseMeta accepted %d bytes but meta region ends at %d", len(data), end)
+		}
+		if got := l.metaBytes(count); !bytes.Equal(got[:end], data[:end]) {
+			t.Fatalf("accepted header does not round-trip through metaBytes")
+		}
+	})
+}

@@ -135,6 +135,11 @@ func parseMeta(buf []byte) (layout, uint64, error) {
 	if models == 0 || models > 1<<16 || capacity > 1<<40 {
 		return layout{}, 0, fmt.Errorf("reccache: implausible header (models %d, capacity %d)", models, capacity)
 	}
+	for _, b := range buf[56:64] {
+		if b != 0 {
+			return layout{}, 0, fmt.Errorf("reccache: reserved header bytes not zero")
+		}
+	}
 	if nameOff != headerSize+core.RecordNumColumns*colDescSize ||
 		uint64(len(buf)) < nameOff+nameLen {
 		return layout{}, 0, fmt.Errorf("reccache: truncated name table")

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models/tcn"
+)
+
+// TestCrossSessionBatchMatchesSerialTCN: the coalescer mixes windows
+// from many sessions into one wide GEMM batch on a real TimePPG network.
+// Every estimate must be bitwise identical to running the same window
+// alone through a fresh clone — batch composition across users is
+// invisible in the numbers (the PR 5 invariant, now load-bearing for
+// cross-session isolation).
+func TestCrossSessionBatchMatchesSerialTCN(t *testing.T) {
+	sys, _, ws := fixture(t)
+	net := tcn.NewTimePPGSmall()
+	net.InitWeights(1)
+	complex := tcn.NewEstimator(net)
+	simple := &biasEst{name: "cheap", ops: 3_000, bias: 8}
+	eng := buildEngine(t, simple, complex)
+
+	vc := NewVirtualClock()
+	e, err := Open(Config{
+		Engine:     eng,
+		System:     sys,
+		Constraint: core.MAEConstraint(6),
+		Clock:      vc,
+		BatchSize:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const nSessions = 8
+	const per = 8
+	sessions := make([]*Session, nSessions)
+	for i := range sessions {
+		s, err := e.NewSession(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	for k := 0; k < per; k++ {
+		for i, s := range sessions {
+			if st := s.Submit(&ws[(i*per+k)%len(ws)], vc.Now()); st != SubmitOK {
+				t.Fatal(st)
+			}
+		}
+		e.Tick()
+		vc.Advance(sys.PeriodSeconds)
+	}
+
+	ref := complex.Clone() // untouched weights, fresh scratch
+	var tcnWindows int
+	for i, s := range sessions {
+		res := s.Drain()
+		if len(res) != per {
+			t.Fatalf("session %d: %d results", i, len(res))
+		}
+		for k, r := range res {
+			w := &ws[(i*per+k)%len(ws)]
+			switch r.Model {
+			case complex.Name():
+				tcnWindows++
+				if want := ref.EstimateHR(w); r.HR != want {
+					t.Fatalf("session %d window %d: batched TCN HR %v != serial %v", i, k, r.HR, want)
+				}
+			case simple.Name():
+				if want := simple.EstimateHR(w); r.HR != want {
+					t.Fatalf("session %d window %d: simple HR %v != %v", i, k, r.HR, want)
+				}
+			default:
+				t.Fatalf("unexpected model %q", r.Model)
+			}
+		}
+	}
+	if tcnWindows == 0 {
+		t.Fatal("no window was routed to the TCN — the batch path went untested")
+	}
+}

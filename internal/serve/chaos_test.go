@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// chaosSub is one scheduled submission: a window index and whether the
+// copy is poisoned to panic inside the model.
+type chaosSub struct {
+	wi     int
+	poison bool
+}
+
+// chaosSchedule derives a session's submission schedule purely from its
+// ID: mostly one window per cycle, with occasional overload bursts (past
+// high water and past the mailbox) and occasional poisoned windows. The
+// derivation uses the same fork-by-label stream as the fault layer, so
+// the schedule is a pure function of (seed, id) — exactly like the
+// faults the session will see.
+func chaosSchedule(id string, nWindows, cycles int) [][]chaosSub {
+	r := faults.NewRand(0xC0FFEE).Fork("sched:" + id)
+	sched := make([][]chaosSub, cycles)
+	for c := range sched {
+		n := 1
+		switch {
+		case r.Float64() < 0.03:
+			n = 20 // past the default mailbox: forced drops
+		case r.Float64() < 0.06:
+			n = 12 // past high water: forced shedding
+		}
+		subs := make([]chaosSub, n)
+		for i := range subs {
+			subs[i] = chaosSub{
+				wi:     int(r.Uint64() % uint64(nWindows)),
+				poison: r.Float64() < 0.02,
+			}
+		}
+		sched[c] = subs
+	}
+	return sched
+}
+
+// sessionOutput is everything observable a session produced.
+type sessionOutput struct {
+	Results []WindowResult
+	Stats   SessionStats
+}
+
+// runChaos replays the schedules against one engine hosting all the
+// given sessions in lockstep, and returns each session's output.
+func runChaos(t *testing.T, ids []string, scheds map[string][][]chaosSub, cycles int) map[string]sessionOutput {
+	t.Helper()
+	sys, eng, ws := fixture(t)
+	vc := NewVirtualClock()
+	sc := faults.WorstCase()
+	e, err := Open(Config{
+		Engine:     eng,
+		System:     sys,
+		Constraint: core.MAEConstraint(6),
+		Clock:      vc,
+		Faults:     &sc,
+		FaultSeed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, len(ids))
+	for i, id := range ids {
+		s, err := e.NewSession(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	for c := 0; c < cycles; c++ {
+		for i, s := range sessions {
+			for _, sub := range scheds[ids[i]][c] {
+				w := &ws[sub.wi]
+				if sub.poison {
+					p := ws[sub.wi]
+					p.Start = poisonStart
+					w = &p
+				}
+				s.Submit(w, vc.Now())
+			}
+		}
+		e.Tick()
+		vc.Advance(sys.PeriodSeconds)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]sessionOutput, len(ids))
+	for i, id := range ids {
+		out[id] = sessionOutput{Results: sessions[i].Drain(), Stats: sessions[i].Stats()}
+	}
+	return out
+}
+
+// TestChaosSoak is the headline robustness test: 256 concurrent sessions
+// through the worst-case fault scenario with forced panics and overload
+// bursts. It asserts the three load-bearing properties at once:
+//
+//  1. liveness — the soak completes and every accepted window is
+//     accounted for;
+//  2. isolation — each session's results deep-equal a serial replay of
+//     that session alone on a fresh engine with the same seeds, so
+//     neither batch composition nor 255 noisy neighbours leak into a
+//     user's stream;
+//  3. determinism — a second identical multi-session run is
+//     byte-identical.
+func TestChaosSoak(t *testing.T) {
+	const nSessions = 256
+	cycles := 40
+	if testing.Short() {
+		cycles = 10
+	}
+	_, _, ws := fixture(t)
+
+	ids := make([]string, nSessions)
+	scheds := make(map[string][][]chaosSub, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("u%03d", i)
+		scheds[ids[i]] = chaosSchedule(ids[i], len(ws), cycles)
+	}
+
+	multi := runChaos(t, ids, scheds, cycles)
+
+	// Liveness and chaos coverage: the scheduled faults must actually
+	// have fired, otherwise the soak proves nothing.
+	var tot SessionStats
+	for _, id := range ids {
+		st := multi[id].Stats
+		if st.Accepted != st.Finished() {
+			t.Fatalf("%s: accepted %d != finished %d", id, st.Accepted, st.Finished())
+		}
+		tot.Dropped += st.Dropped
+		tot.ShedWindows += st.ShedWindows
+		tot.Panics += st.Panics
+		tot.Restarts += st.Restarts
+		tot.FallbackWindows += st.FallbackWindows
+	}
+	if tot.Dropped == 0 || tot.ShedWindows == 0 || tot.Panics == 0 || tot.Restarts == 0 {
+		t.Fatalf("chaos did not bite: %+v", tot)
+	}
+	if tot.FallbackWindows == 0 {
+		t.Fatalf("worst-case faults never degraded a window: %+v", tot)
+	}
+
+	// Isolation: serial per-session replay, same seeds, fresh engine.
+	for _, id := range ids {
+		solo := runChaos(t, []string{id}, scheds, cycles)
+		if !reflect.DeepEqual(solo[id].Results, multi[id].Results) {
+			t.Fatalf("%s: results diverge from serial replay", id)
+		}
+		if solo[id].Stats != multi[id].Stats {
+			t.Fatalf("%s: stats diverge from serial replay:\n solo  %+v\n multi %+v",
+				id, solo[id].Stats, multi[id].Stats)
+		}
+	}
+
+	// Determinism: same seed, same bytes.
+	again := runChaos(t, ids, scheds, cycles)
+	b1, err := json.Marshal(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same-seed chaos runs are not byte-identical")
+	}
+}
+
+// TestSessionSeedIndependence: a session's fault stream depends on its
+// ID alone — registering extra sessions must not perturb it.
+func TestSessionSeedIndependence(t *testing.T) {
+	_, _, ws := fixture(t)
+	cycles := 12
+	sched := map[string][][]chaosSub{
+		"alice": chaosSchedule("alice", len(ws), cycles),
+		"bob":   chaosSchedule("bob", len(ws), cycles),
+	}
+	pair := runChaos(t, []string{"alice", "bob"}, sched, cycles)
+	solo := runChaos(t, []string{"alice"}, sched, cycles)
+	if !reflect.DeepEqual(pair["alice"], solo["alice"]) {
+		t.Fatal("adding bob changed alice's stream")
+	}
+}

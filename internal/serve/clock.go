@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the engine's only source of time, in seconds since engine
+// start. Injecting it is the invariant the whole package is built on:
+// every deadline, lateness and watchdog decision flows through Clock.Now,
+// so a VirtualClock makes a run a pure function of (inputs, seeds) — the
+// chaos tests replay byte-for-byte — while a WallClock turns the identical
+// machinery into a live server.
+type Clock interface {
+	// Now returns the current time in seconds. It must be monotonic.
+	Now() float64
+}
+
+// WallClock reads the monotonic host clock, anchored at its creation.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a wall clock anchored at the call instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// VirtualClock is a manually advanced clock for deterministic runs: time
+// moves only when the driver says so, so two runs with the same schedule
+// observe identical timestamps regardless of goroutine interleaving.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewVirtualClock returns a virtual clock at t=0.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d seconds (negative d panics: the
+// clock is monotonic by contract).
+func (c *VirtualClock) Advance(d float64) {
+	if d < 0 {
+		panic("serve: virtual clock cannot move backwards")
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/faults"
+	"repro/internal/hw/ble"
+	"repro/internal/hw/power"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// SubmitStatus reports how the admission control treated one window.
+type SubmitStatus uint8
+
+const (
+	// SubmitOK: the window was admitted to the session mailbox.
+	SubmitOK SubmitStatus = iota
+	// SubmitDropped: the session mailbox is full; the window was dropped
+	// and counted (overload-ladder rung 1 — the caller may fall back to
+	// an on-watch estimate itself).
+	SubmitDropped
+	// SubmitRejected: the engine-wide admission bound is saturated; the
+	// window was rejected before touching the mailbox.
+	SubmitRejected
+	// SubmitClosed: the session or engine no longer accepts work.
+	SubmitClosed
+)
+
+// String names the status.
+func (s SubmitStatus) String() string {
+	switch s {
+	case SubmitOK:
+		return "ok"
+	case SubmitDropped:
+		return "dropped"
+	case SubmitRejected:
+		return "rejected"
+	case SubmitClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// job is one window travelling through the pipeline: admission fields set
+// at Submit, routing fields set by stage 1 (dispatch + offload protocol),
+// the estimate set by the coalesced inference stage, and everything folded
+// into results and stats by finalize.
+type job struct {
+	seq      uint64
+	w        *dalia.Window
+	arrival  float64
+	deadline float64
+
+	shed        bool // mailbox past high water at collect: degrade to simple
+	model       string
+	est         models.HREstimator
+	outcome     Outcome
+	offloaded   bool
+	difficulty  int
+	skip        bool // no inference (expired or panicked in stage 1)
+	panicked    bool
+	offload     sim.OffloadOutcome
+	attempted   bool // the offload pipeline ran (deadline-miss accounting)
+	phoneEnergy power.Energy
+	hr          float64
+}
+
+// Session is one user's isolated slice of the engine: a bounded mailbox,
+// the offload protocol state machine (burst-channel Markov state, seeded
+// random stream, reconnect holdoff), reselection hysteresis, and the
+// accumulated results and counters. All fault state is derived from the
+// engine's scenario and the session ID alone, so a session's results are
+// a pure function of its own inputs — never of its neighbours'.
+type Session struct {
+	id  string
+	eng *Engine
+
+	// smu guards mailbox, seq, results, stats and closed; it is never held
+	// across model inference.
+	smu     sync.Mutex
+	mailbox []job
+	seq     uint64
+	results []WindowResult
+	stats   SessionStats
+	closed  bool
+
+	// Pipeline state below is touched only by the engine's cycle (one
+	// cycle runs at a time), never concurrently with itself.
+	inj           *faults.Injector
+	rng           *faults.Rand
+	ch            ble.Channel
+	current       core.Profile
+	engineUp      bool
+	linkDownUntil float64
+	failStreak    int
+	goodStreak    int
+	cooldown      int
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Submit offers one window to the session with an explicit arrival
+// timestamp (engine seconds, usually Clock.Now; see SubmitNow). The call
+// never blocks: admission control answers immediately with the window's
+// fate. Windows must be submitted with non-decreasing timestamps.
+func (s *Session) Submit(w *dalia.Window, at float64) SubmitStatus {
+	e := s.eng
+	s.smu.Lock()
+	s.stats.Submitted++
+	if s.closed || e.closed.Load() {
+		s.stats.Rejected++
+		s.smu.Unlock()
+		return SubmitClosed
+	}
+	if e.cfg.MaxPending > 0 && int(e.pending.Load()) >= e.cfg.MaxPending {
+		// Engine-wide admission bound: total queued work across all
+		// sessions is capped, so a flood of sessions cannot OOM the
+		// server. This rung depends on global state and is therefore
+		// excluded from the per-session determinism contract (doc.go).
+		s.stats.Rejected++
+		s.smu.Unlock()
+		return SubmitRejected
+	}
+	if len(s.mailbox) >= e.mailboxDepth {
+		s.stats.Dropped++
+		s.smu.Unlock()
+		return SubmitDropped
+	}
+	s.mailbox = append(s.mailbox, job{
+		seq:      s.seq,
+		w:        w,
+		arrival:  at,
+		deadline: at + e.deadlineSec,
+	})
+	s.seq++
+	s.stats.Accepted++
+	s.smu.Unlock()
+	e.pending.Add(1)
+	e.wakePump()
+	return SubmitOK
+}
+
+// SubmitNow is Submit stamped with the engine clock.
+func (s *Session) SubmitNow(w *dalia.Window) SubmitStatus {
+	return s.Submit(w, s.eng.clock.Now())
+}
+
+// Close stops accepting new windows; already-admitted windows still
+// finish. Idempotent.
+func (s *Session) Close() {
+	s.smu.Lock()
+	s.closed = true
+	s.smu.Unlock()
+}
+
+// Drain returns the results accumulated since the last Drain, in
+// submission order, and clears the buffer.
+func (s *Session) Drain() []WindowResult {
+	s.smu.Lock()
+	r := s.results
+	s.results = nil
+	s.smu.Unlock()
+	return r
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() SessionStats {
+	s.smu.Lock()
+	st := s.stats
+	s.smu.Unlock()
+	return st
+}
+
+// collect drains the mailbox into a work list for this cycle. The
+// high-water check happens here, against the session's own backlog only:
+// a session whose mailbox ran past the mark has fallen behind the
+// engine's draining cadence, and every window collected this cycle
+// degrades to the watch-side simple model (overload-ladder rung 3).
+func (s *Session) collect() []job {
+	e := s.eng
+	s.smu.Lock()
+	jobs := s.mailbox
+	s.mailbox = nil
+	s.smu.Unlock()
+	if len(jobs) > e.highWater {
+		for i := range jobs {
+			jobs[i].shed = true
+		}
+	}
+	return jobs
+}
+
+// rawUp reports whether the session's offload link is usable at time t:
+// past any reconnect holdoff, the shared link up, and no injected flap.
+func (s *Session) rawUp(t float64) bool {
+	return t >= s.linkDownUntil && s.eng.cfg.System.Link.ConnectedAt(t) && !s.inj.ForcedDown(t)
+}
+
+// restart re-initializes the session after a recovered panic: fresh
+// configuration selection, cleared hysteresis and channel state. The
+// mailbox, results, counters and the random stream survive — a restart
+// heals the pipeline state, it does not rewrite history.
+func (s *Session) restart(t float64) {
+	s.ch = ble.Channel{}
+	s.linkDownUntil = 0
+	s.failStreak, s.goodStreak, s.cooldown = 0, 0, 0
+	s.engineUp = s.rawUp(t)
+	if next, err := s.eng.cfg.Engine.SelectConfig(s.engineUp, s.eng.cfg.Constraint); err == nil {
+		s.current = next
+	}
+	s.smu.Lock()
+	s.stats.Restarts++
+	s.stats.ActiveConfig = s.current.Name()
+	s.smu.Unlock()
+}
+
+// stage1 routes this cycle's jobs in submission order: deadline triage,
+// overload shedding, dispatch, and the offload protocol. Each job is
+// panic-isolated — a panicking dispatcher or classifier marks only that
+// window and restarts only this session.
+func (s *Session) stage1(now float64, jobs []job) []job {
+	for i := range jobs {
+		s.step1(now, &jobs[i])
+	}
+	return jobs
+}
+
+// step1 handles one job; recover converts a panic into an OutcomePanic
+// window plus a session restart, leaving later windows to proceed on the
+// fresh state.
+func (s *Session) step1(now float64, j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = true
+			j.skip = true
+			j.outcome = OutcomePanic
+			j.est = nil
+			s.restart(now)
+		}
+	}()
+	e := s.eng
+
+	// Rung 2: the deadline already passed while the window queued —
+	// discard before spending any inference on it.
+	if now > j.deadline {
+		j.outcome = OutcomeExpired
+		j.skip = true
+		return
+	}
+	// Rung 3: session overloaded — degrade to the simple model without
+	// consulting the dispatcher, exactly the ladder the offline fault
+	// loop uses when the offload pipeline fails.
+	if j.shed {
+		j.outcome = OutcomeShed
+		j.model = s.current.Simple.Name()
+		j.est = s.current.Simple
+		return
+	}
+
+	up := s.rawUp(j.arrival)
+	d := e.cfg.Engine.Dispatch(&s.current, j.w)
+	j.difficulty = d.Difficulty
+	windowFault := false
+	switch {
+	case d.Offloaded && up:
+		j.attempted = true
+		j.offload = s.proto().ResolveOffload(e.cfg.System, s.inj, &s.ch, s.rng,
+			d.Model, j.arrival, e.pipelineDeadline)
+		for k := 0; k < j.offload.PhoneComputes; k++ {
+			j.phoneEnergy += e.cfg.System.PhoneEnergy(d.Model)
+		}
+		windowFault = j.offload.Fault
+		if j.offload.SupervisionDrop {
+			s.linkDownUntil = j.arrival + s.proto().ReconnectSeconds
+		}
+		if j.offload.Success {
+			j.outcome = OutcomeFull
+			j.offloaded = true
+			j.model = d.Model.Name()
+			j.est = d.Model
+		} else {
+			j.outcome = OutcomeFallback
+			j.model = s.current.Simple.Name()
+			j.est = s.current.Simple
+		}
+	case d.Offloaded && !up:
+		// The stack knows the link is down: degrade immediately.
+		windowFault = true
+		j.outcome = OutcomeFallback
+		j.model = s.current.Simple.Name()
+		j.est = s.current.Simple
+	default:
+		j.model = d.Model.Name()
+		j.est = d.Model
+		if d.Model.Name() == s.current.Simple.Name() {
+			j.outcome = OutcomeSimple
+		} else {
+			j.outcome = OutcomeFull
+		}
+	}
+	s.hysteresis(up, windowFault)
+}
+
+// proto returns the engine's resolved protocol.
+func (s *Session) proto() sim.Protocol { return s.eng.proto }
+
+// hysteresis is the reselection damper of the offline simulator, applied
+// per dispatched window: leave hybrid configurations only after
+// FailWindows consecutive degraded windows, return after RecoverWindows
+// healthy ones, and hold still through the cooldown after any switch.
+func (s *Session) hysteresis(up, windowFault bool) {
+	if up && !windowFault {
+		s.goodStreak++
+		s.failStreak = 0
+	} else {
+		s.failStreak++
+		s.goodStreak = 0
+	}
+	p := s.proto()
+	e := s.eng
+	switch {
+	case s.cooldown > 0:
+		s.cooldown--
+	case s.engineUp && s.failStreak >= p.FailWindows:
+		if next, err := e.cfg.Engine.SelectConfig(false, e.cfg.Constraint); err == nil {
+			s.current = next
+			s.engineUp = false
+			s.cooldown = p.CooldownWindows
+			s.failStreak = 0
+			s.smu.Lock()
+			s.stats.Reselections++
+			s.stats.ActiveConfig = next.Name()
+			s.smu.Unlock()
+		}
+	case !s.engineUp && s.goodStreak >= p.RecoverWindows:
+		if next, err := e.cfg.Engine.SelectConfig(true, e.cfg.Constraint); err == nil {
+			s.current = next
+			s.engineUp = true
+			s.cooldown = p.CooldownWindows
+			s.goodStreak = 0
+			s.smu.Lock()
+			s.stats.Reselections++
+			s.stats.ActiveConfig = next.Name()
+			s.smu.Unlock()
+		}
+	}
+}
+
+// finalize folds this cycle's finished jobs into results and stats, in
+// submission order. completion is the cycle's single completion
+// timestamp; a result that lands past its deadline is discarded here
+// (late-result discard) even though the inference energy is already
+// spent.
+func (s *Session) finalize(completion float64, jobs []job) {
+	e := s.eng
+	s.smu.Lock()
+	for i := range jobs {
+		j := &jobs[i]
+		if j.panicked {
+			j.outcome = OutcomePanic
+			j.hr = 0
+			j.model = ""
+			s.stats.Panics++
+		} else if !j.skip && completion > j.deadline && !j.outcome.Discarded() {
+			s.stats.Late++
+			j.outcome = OutcomeLate
+			j.hr = 0
+		}
+		switch j.outcome {
+		case OutcomeFull:
+			s.stats.FullRuns++
+			if j.offloaded {
+				s.stats.Offloaded++
+			}
+		case OutcomeSimple:
+			s.stats.SimpleRuns++
+		case OutcomeFallback:
+			s.stats.FallbackWindows++
+			if j.attempted {
+				s.stats.DeadlineMisses++
+			}
+		case OutcomeShed:
+			s.stats.ShedWindows++
+		case OutcomeExpired:
+			s.stats.Expired++
+		}
+		s.stats.Retries += uint64(j.offload.Retries)
+		s.stats.Timeouts += uint64(j.offload.Timeouts)
+		s.stats.RetransmitPackets += uint64(j.offload.RetransmitPackets)
+		if j.offload.SupervisionDrop {
+			s.stats.SupervisionDrops++
+		}
+		s.stats.RadioEnergy += j.offload.RadioEnergy
+		s.stats.RetransmitEnergy += j.offload.RetransmitEnergy
+		s.stats.PhoneEnergy += j.phoneEnergy
+		s.stats.ActiveConfig = s.current.Name()
+		s.results = append(s.results, WindowResult{
+			Seq:        j.seq,
+			Arrival:    j.arrival,
+			HR:         j.hr,
+			Model:      j.model,
+			Outcome:    j.outcome,
+			Offloaded:  j.offloaded,
+			Difficulty: j.difficulty,
+			Latency:    completion - j.arrival,
+		})
+	}
+	s.smu.Unlock()
+	e.pending.Add(-int64(len(jobs)))
+	e.progress.Add(uint64(len(jobs)))
+}
+
+// String summarizes the session.
+func (s *Session) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("session %s: %d accepted, %d finished, config %s",
+		s.id, st.Accepted, st.Finished(), st.ActiveConfig)
+}

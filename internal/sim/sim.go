@@ -361,70 +361,30 @@ func runFaults(cfg Config) (Result, error) {
 
 			switch {
 			case d.Offloaded && up:
-				// Offload protocol state machine: transmit over the
-				// burst channel, await the phone response under the
-				// attempt timeout, retry with exponential backoff inside
-				// the window deadline, then degrade.
+				// Offload protocol state machine (protocol.go): transmit
+				// over the burst channel, await the phone response under
+				// the attempt timeout, retry with exponential backoff
+				// inside the window deadline, then degrade.
 				attempted = true
-				elapsed := 0.0
-				success := false
-				cleanTx := sys.Link.WindowTransmitEnergy()
-			attempts:
-				for attempt := 0; ; attempt++ {
-					ch.SetParams(inj.ChannelAt(t))
-					tr := sys.Link.TransmitLossy(ble.WindowBytes, ch, rng)
-					res.Watch.Radio += tr.Energy
-					windowWatch += tr.Energy
-					busy += tr.Seconds
-					elapsed += tr.Seconds
-					res.RetransmitPackets += tr.Retransmits
-					if tr.Retransmits > 0 || !tr.Delivered {
-						windowFault = true
-					}
-					if tr.Delivered {
-						res.RetransmitEnergy += tr.Energy - cleanTx
-					} else {
-						res.RetransmitEnergy += tr.Energy
-					}
-					if !tr.Delivered {
-						// Supervision timeout: the connection is gone;
-						// no retry can succeed until the stack
-						// reconnects.
-						res.SupervisionDrops++
-						linkDownUntil = t + proto.ReconnectSeconds
-						break attempts
-					}
-					if inj.PhoneAvailable(t) {
-						resp := sys.Phone.ComputeSeconds(d.Model) + inj.ResponseLatency(t)
-						// The phone computes even when its reply will
-						// arrive late; that energy is spent either way.
-						res.PhoneEnergy += sys.PhoneEnergy(d.Model)
-						if resp <= proto.AttemptTimeoutSeconds {
-							if elapsed+resp <= deadline {
-								success = true
-								break attempts
-							}
-							// Response in time for the attempt but past
-							// the window deadline: retrying cannot help.
-							res.Timeouts++
-							windowFault = true
-							break attempts
-						}
-					}
-					res.Timeouts++
-					windowFault = true
-					elapsed += proto.AttemptTimeoutSeconds
-					if attempt >= proto.MaxRetries {
-						break attempts
-					}
-					back := proto.BackoffSeconds * float64(uint(1)<<uint(attempt))
-					if elapsed+back >= deadline {
-						break attempts
-					}
-					elapsed += back
-					res.Retries++
+				out := proto.ResolveOffload(sys, inj, ch, rng, d.Model, t, deadline)
+				res.Watch.Radio += out.RadioEnergy
+				windowWatch += out.RadioEnergy
+				busy += out.Busy
+				res.RetransmitPackets += out.RetransmitPackets
+				res.RetransmitEnergy += out.RetransmitEnergy
+				res.Retries += out.Retries
+				res.Timeouts += out.Timeouts
+				for i := 0; i < out.PhoneComputes; i++ {
+					res.PhoneEnergy += sys.PhoneEnergy(d.Model)
 				}
-				if success {
+				if out.Fault {
+					windowFault = true
+				}
+				if out.SupervisionDrop {
+					res.SupervisionDrops++
+					linkDownUntil = t + proto.ReconnectSeconds
+				}
+				if out.Success {
 					hr = d.Model.EstimateHR(w)
 					res.Offloaded++
 				} else {
