@@ -15,7 +15,11 @@
 //     NewTimePPGBig) and the activity-recognition forest (TrainForest),
 //   - whole-system simulation (Simulate), optionally fault-injected
 //     through the deterministic chaos harness (FaultInjector,
-//     CommuteScenario/GymScenario/WorstCaseScenario, OffloadProtocol).
+//     CommuteScenario/GymScenario/WorstCaseScenario, OffloadProtocol),
+//   - population-scale fleet simulation (SimulateFleet): thousands to
+//     millions of seed-forked synthetic users streamed into
+//     bounded-memory population aggregates with checkpoint/resume
+//     (FleetConfig, FleetSummary, ParseFleetMix; see cmd/chrisfleet).
 //
 // See examples/quickstart for the three-call happy path: BuildPipeline →
 // Engine → Predict.
@@ -66,6 +70,7 @@ import (
 	"repro/internal/dalia"
 	"repro/internal/eval"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/hw/ble"
 	"repro/internal/hw/power"
@@ -277,6 +282,45 @@ const (
 	ServeOutcomeExpired  = serve.OutcomeExpired
 	ServeOutcomeLate     = serve.OutcomeLate
 	ServeOutcomePanic    = serve.OutcomePanic
+)
+
+// Fleet-simulation re-exports (internal/fleet: a synthetic population of
+// independent users — per-user physiology, scenario and constraint drawn
+// from label-keyed seed forks — simulated through sim.Run and streamed
+// into order-invariant bounded-memory aggregates; same seed ⇒
+// byte-identical summary across runs and worker counts).
+type (
+	// FleetConfig parameterizes a fleet run (users, days, seed, mix,
+	// population spread, checkpointing).
+	FleetConfig = fleet.Config
+	// FleetCohort is one scenario×constraint slice of the mix.
+	FleetCohort = fleet.Cohort
+	// FleetMix is the cohort list users are assigned to by weighted draw.
+	FleetMix = fleet.Mix
+	// FleetPopulation spreads the per-user physiology knobs.
+	FleetPopulation = fleet.Population
+	// FleetSummary is the population-level result.
+	FleetSummary = fleet.Summary
+	// FleetUserResult is one simulated user (streamed via
+	// FleetConfig.OnUser).
+	FleetUserResult = fleet.UserResult
+	// FleetDist is one metric's population distribution.
+	FleetDist = fleet.Dist
+)
+
+var (
+	// SimulateFleet runs a whole fleet and returns the population summary.
+	SimulateFleet = fleet.Run
+	// NewFleet builds the shared fleet state for per-user access
+	// (Fleet.SimulateUser replays any single user standalone, bitwise
+	// identical to its slice of a whole-fleet run).
+	NewFleet = fleet.New
+	// DefaultFleetConfig is a small reference fleet (100 users × 1 day).
+	DefaultFleetConfig = fleet.DefaultConfig
+	// ParseFleetMix parses the "scenario:constraint:weight,..." mix syntax.
+	ParseFleetMix = fleet.ParseMix
+	// DefaultFleetMix is the reference scenario mix.
+	DefaultFleetMix = fleet.DefaultMix
 )
 
 var (

@@ -1,0 +1,68 @@
+// Fleet: simulate a synthetic population of CHRIS users and read off
+// population-level answers — energy and accuracy distributions, per-cohort
+// breakdowns, and the fleet-wide energy/accuracy Pareto front.
+//
+// Every user derives from a label-keyed fork of the fleet seed (their own
+// physiology, activity recording, scenario and constraint), so the whole
+// summary is a pure function of the configuration: the same seed prints
+// the same numbers on every run and for any worker count, and any single
+// user can be replayed standalone, bitwise identical to their slice of
+// the fleet run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chris "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := chris.DefaultFleetConfig()
+	cfg.Users = 200
+	cfg.Days = 0.25
+	cfg.Seed = 7
+
+	sum, err := chris.SimulateFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fleet: %d users × %g days (seed %d), %d windows\n",
+		sum.Users, sum.Days, sum.Seed, sum.Windows)
+	mae := sum.Overall["mae"]
+	life := sum.Overall["life_h"]
+	fmt.Printf("MAE:          p05 %.2f   median %.2f   p95 %.2f BPM\n", mae.P05, mae.P50, mae.P95)
+	fmt.Printf("battery life: p05 %.0f   median %.0f   p95 %.0f h\n", life.P05, life.P50, life.P95)
+
+	fmt.Println("\ncohorts:")
+	for _, c := range sum.Cohorts {
+		m := c.Metrics["mae"]
+		e := c.Metrics["energy_day_mj"]
+		fmt.Printf("  %-18s %4d users   mae p50 %5.2f BPM   energy p50 %8.0f mJ/day\n",
+			c.Name, c.Users, m.P50, e.P50)
+	}
+
+	fmt.Println("\nPareto front (cohort means, * = non-dominated):")
+	for _, p := range sum.Pareto {
+		mark := " "
+		if p.OnFront {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-18s %8.0f mJ/day   %5.2f BPM\n", mark, p.Cohort, p.EnergyDayMJ, p.MAE)
+	}
+
+	// Replay one user standalone: bitwise identical to the fleet run.
+	fl, err := chris.NewFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := fl.SimulateUser(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuser 42 replayed solo: cohort %d, MAE %.2f BPM, final SoC %.1f%%\n",
+		u.Cohort, u.Result.MAE, u.Result.FinalSoC*100)
+}

@@ -31,6 +31,7 @@ type BenchReport struct {
 	Kernels      []KernelResult     `json:"kernels"`
 	BuildRecords RecordScaling      `json:"build_records"`
 	Serve        ServeMetrics       `json:"serve"`
+	Fleet        FleetMetrics       `json:"fleet"`
 	Headline     map[string]float64 `json:"headline"`
 }
 
@@ -55,6 +56,10 @@ func BuildBenchReport(s *Suite) (BenchReport, error) {
 	rep.BuildRecords = scaling
 
 	if rep.Serve, err = MeasureServe(); err != nil {
+		return BenchReport{}, err
+	}
+
+	if rep.Fleet, err = MeasureFleet(); err != nil {
 		return BenchReport{}, err
 	}
 

@@ -359,6 +359,7 @@ func KernelBenchmarks() []KernelResult {
 	}
 	results = append(results, cacheKernels()...)
 	results = append(results, simKernels()...)
+	results = append(results, fleetKernels()...)
 	return append(results, serveKernels()...)
 }
 

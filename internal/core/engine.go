@@ -45,16 +45,31 @@ type Decision struct {
 	HR         float64
 }
 
+// DifficultyRater is the difficulty-detector interface the engine
+// consults once per window. The trained activity forest (*rf.Classifier)
+// is the production implementation; the fleet simulator substitutes an
+// O(1) replay table precomputed over each user's unique windows, which is
+// what lets the population-scale tick loop run at ~100 ns/window instead
+// of re-extracting RF features 43 200 times per simulated user-day.
+type DifficultyRater interface {
+	// DifficultyID returns the 1-based difficulty rank (1..9) of the
+	// window's predicted activity.
+	DifficultyID(w *dalia.Window) int
+}
+
+// The forest stays the canonical rater.
+var _ DifficultyRater = (*rf.Classifier)(nil)
+
 // Engine is the CHRIS decision engine: a profile store sorted by energy, a
 // difficulty detector, and the connection status input.
 type Engine struct {
 	profiles   []Profile // ascending watch energy (ProfileConfigs order)
-	classifier *rf.Classifier
+	classifier DifficultyRater
 }
 
 // NewEngine builds the engine from profiled configurations (in
 // ProfileConfigs order) and the trained difficulty detector.
-func NewEngine(profiles []Profile, classifier *rf.Classifier) (*Engine, error) {
+func NewEngine(profiles []Profile, classifier DifficultyRater) (*Engine, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("core: engine needs at least one profile")
 	}

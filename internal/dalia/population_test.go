@@ -1,0 +1,146 @@
+package dalia
+
+import (
+	"math"
+	"testing"
+)
+
+// popSampleConfig is the fleet-style per-user recording: 1 % of the
+// protocol, one subject per seed.
+func popSampleConfig(seed int64, hrShift float64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Subjects = 1
+	c.DurationScale = 0.01
+	c.HRShift = hrShift
+	return c
+}
+
+// TestPopulationHRBands samples 1000 synthetic users and checks the
+// generator's population statistics stay inside the documented bands: the
+// activity profiles span 55–140 BPM, subject traits add a ±6 BPM offset
+// sigma, and the protocol is mostly sedentary, so per-user mean HR must
+// land in [45, 150] and the population mean of means in [60, 105], with a
+// real (> 1.5 BPM) spread across users. Activity coverage is only required
+// of bouts long enough to survive the 1 % duration compression: a bout
+// shorter than ~¾ of a window can lose every majority-label vote, so the
+// two 5-minute protocol slots (stairs, table soccer) may legitimately
+// vanish at this scale.
+func TestPopulationHRBands(t *testing.T) {
+	const users = 1000
+	means := make([]float64, 0, users)
+	var activitySeen [NumActivities]bool
+	for u := 0; u < users; u++ {
+		c := popSampleConfig(int64(1000+u), 0)
+		rec, err := GenerateSubject(c, 0)
+		if err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		ws := Windows(rec, c.WindowSamples, c.StrideSamples)
+		if len(ws) == 0 {
+			t.Fatalf("user %d: no windows", u)
+		}
+		sum := 0.0
+		for i := range ws {
+			hr := ws[i].TrueHR
+			if math.IsNaN(hr) || math.IsInf(hr, 0) {
+				t.Fatalf("user %d window %d: TrueHR %v", u, i, hr)
+			}
+			sum += hr
+			activitySeen[ws[i].Activity] = true
+		}
+		mean := sum / float64(len(ws))
+		if mean < 45 || mean > 150 {
+			t.Fatalf("user %d: mean HR %.1f outside [45, 150]", u, mean)
+		}
+		means = append(means, mean)
+	}
+
+	popMean, popVar := 0.0, 0.0
+	for _, m := range means {
+		popMean += m
+	}
+	popMean /= float64(len(means))
+	for _, m := range means {
+		popVar += (m - popMean) * (m - popMean)
+	}
+	popStd := math.Sqrt(popVar / float64(len(means)))
+	if popMean < 60 || popMean > 105 {
+		t.Fatalf("population mean HR %.1f outside [60, 105]", popMean)
+	}
+	if popStd < 1.5 {
+		t.Fatalf("population HR spread %.2f BPM — users are collapsing onto one physiology", popStd)
+	}
+	c := popSampleConfig(0, 0)
+	windowSec := float64(c.WindowSamples) / c.SampleRate
+	seen := 0
+	for a := 0; a < NumActivities; a++ {
+		if activitySeen[a] {
+			seen++
+			continue
+		}
+		if bout := profiles[a].protocolMin * 60 * c.DurationScale; bout >= 0.75*windowSec {
+			t.Errorf("activity %v (scaled bout %.1fs) never sampled across %d users", Activity(a), bout, users)
+		}
+	}
+	if seen < 6 {
+		t.Fatalf("only %d distinct activities sampled; population has collapsed", seen)
+	}
+}
+
+// TestPopulationHRShiftMovesMean checks the fleet's physiology knob does
+// what it claims: a +10 BPM HRShift moves the population mean by ≈10 BPM
+// (cardiac dynamics smooth transitions, so allow ±2).
+func TestPopulationHRShiftMovesMean(t *testing.T) {
+	const users = 200
+	meanOf := func(shift float64) float64 {
+		total, n := 0.0, 0
+		for u := 0; u < users; u++ {
+			c := popSampleConfig(int64(2000+u), shift)
+			rec, err := GenerateSubject(c, 0)
+			if err != nil {
+				t.Fatalf("shift %v user %d: %v", shift, u, err)
+			}
+			for _, w := range Windows(rec, c.WindowSamples, c.StrideSamples) {
+				total += w.TrueHR
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	base := meanOf(0)
+	shifted := meanOf(10)
+	if delta := shifted - base; math.Abs(delta-10) > 2 {
+		t.Fatalf("HRShift=10 moved the population mean by %.2f BPM, want ≈10", delta)
+	}
+}
+
+// TestPopulationDegenerateConfigsRejected pins the validation contract the
+// fleet layer relies on: degenerate parameters fail Validate (and
+// GenerateSubject) instead of silently producing NaN signals.
+func TestPopulationDegenerateConfigsRejected(t *testing.T) {
+	mutate := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"NaN HRShift", func(c *Config) { c.HRShift = math.NaN() }},
+		{"Inf HRShift", func(c *Config) { c.HRShift = math.Inf(1) }},
+		{"NaN coupling", func(c *Config) { c.ArtifactCoupling = math.NaN() }},
+		{"negative coupling", func(c *Config) { c.ArtifactCoupling = -1 }},
+		{"NaN noise", func(c *Config) { c.SensorNoise = math.NaN() }},
+		{"negative noise", func(c *Config) { c.SensorNoise = -0.1 }},
+		{"zero duration", func(c *Config) { c.DurationScale = 0 }},
+		{"NaN duration", func(c *Config) { c.DurationScale = math.NaN() }},
+		{"NaN sample rate", func(c *Config) { c.SampleRate = math.NaN() }},
+	}
+	for _, m := range mutate {
+		c := popSampleConfig(1, 0)
+		m.fn(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s passed Validate", m.name)
+		}
+		if _, err := GenerateSubject(c, 0); err == nil {
+			t.Errorf("%s passed GenerateSubject", m.name)
+		}
+	}
+}

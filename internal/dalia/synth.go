@@ -31,6 +31,11 @@ type Config struct {
 	// SensorNoise is the white-noise sigma added to the PPG channel,
 	// relative to the pulse amplitude.
 	SensorNoise float64
+	// HRShift adds a constant BPM offset to every activity's target band,
+	// on top of the subject's own random hrOffset trait. The fleet layer
+	// uses it as a per-user physiology knob; 0 (the default) reproduces
+	// the original generator bitwise.
+	HRShift float64
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -54,17 +59,28 @@ func (c Config) Scaled(scale float64) Config {
 	return c
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Every numeric
+// field must be finite: a NaN coupling, noise sigma or duration scale
+// would not trip any threshold below (NaN compares false) and instead
+// silently poison every generated sample, so degenerate parameters are
+// rejected here rather than producing NaN signals downstream.
 func (c Config) Validate() error {
+	finite := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 	switch {
-	case c.SampleRate <= 0:
-		return fmt.Errorf("dalia: SampleRate must be positive, got %v", c.SampleRate)
+	case !finite(c.SampleRate) || c.SampleRate <= 0:
+		return fmt.Errorf("dalia: SampleRate must be positive and finite, got %v", c.SampleRate)
 	case c.WindowSamples <= 0 || c.StrideSamples <= 0:
 		return fmt.Errorf("dalia: window %d / stride %d must be positive", c.WindowSamples, c.StrideSamples)
 	case c.Subjects <= 0:
 		return fmt.Errorf("dalia: Subjects must be positive, got %d", c.Subjects)
-	case c.DurationScale <= 0:
-		return fmt.Errorf("dalia: DurationScale must be positive, got %v", c.DurationScale)
+	case !finite(c.DurationScale) || c.DurationScale <= 0:
+		return fmt.Errorf("dalia: DurationScale must be positive and finite, got %v", c.DurationScale)
+	case !finite(c.ArtifactCoupling) || c.ArtifactCoupling < 0:
+		return fmt.Errorf("dalia: ArtifactCoupling must be non-negative and finite, got %v", c.ArtifactCoupling)
+	case !finite(c.SensorNoise) || c.SensorNoise < 0:
+		return fmt.Errorf("dalia: SensorNoise must be non-negative and finite, got %v", c.SensorNoise)
+	case !finite(c.HRShift):
+		return fmt.Errorf("dalia: HRShift must be finite, got %v", c.HRShift)
 	}
 	return nil
 }
@@ -167,7 +183,7 @@ func GenerateSubject(c Config, id int) (*Recording, error) {
 	if hrTau < 0.5 {
 		hrTau = 0.5
 	}
-	hr := profiles[schedule[0]].hrLow + traits.hrOffset + 5
+	hr := profiles[schedule[0]].hrLow + traits.hrOffset + c.HRShift + 5
 	phase := rng.Float64()
 	respPhase := rng.Float64() * 2 * math.Pi
 	drift := 0.0
@@ -184,7 +200,7 @@ func GenerateSubject(c Config, id int) (*Recording, error) {
 		if act != curAct {
 			curAct = act
 			span := p.hrHigh - p.hrLow
-			hrTarget = p.hrLow + rng.Float64()*span + traits.hrOffset
+			hrTarget = p.hrLow + rng.Float64()*span + traits.hrOffset + c.HRShift
 		}
 		// Cardiac dynamics: first-order approach to the activity target,
 		// a slow random wander, and respiratory sinus arrhythmia.

@@ -1,5 +1,7 @@
 package faults
 
+import "math"
+
 // Rand is a splitmix64 pseudo-random stream with an explicit seed. It is
 // the only randomness source of the fault layer: deterministic across
 // platforms, cheap (two multiplies and three xor-shifts per draw), and
@@ -32,6 +34,16 @@ func (r *Rand) Uint64() uint64 {
 // Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard-normal draw via the Box–Muller transform. It
+// consumes exactly two Uint64 draws, so interleaving Norm with the other
+// draw methods keeps the stream position deterministic. The log argument
+// is 1-Float64() ∈ (0, 1], so the transform never sees log(0).
+func (r *Rand) Norm() float64 {
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
 // Fork derives an independent stream keyed by label. The child seed is a

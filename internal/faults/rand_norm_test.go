@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormMoments checks the Box–Muller draw has standard-normal moments
+// over a large sample: mean ≈ 0, variance ≈ 1, symmetric tails.
+func TestNormMoments(t *testing.T) {
+	r := NewRand(123)
+	const n = 100_000
+	sum, sumSq := 0.0, 0.0
+	above, below := 0, 0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("draw %d: %v", i, v)
+		}
+		sum += v
+		sumSq += v * v
+		if v > 1.96 {
+			above++
+		}
+		if v < -1.96 {
+			below++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance %v, want ≈1", variance)
+	}
+	// Each tail beyond 1.96σ holds 2.5 % of the mass; allow ±0.7 %.
+	for _, tail := range []int{above, below} {
+		if frac := float64(tail) / n; math.Abs(frac-0.025) > 0.007 {
+			t.Fatalf("tail fraction %v, want ≈0.025 (above=%d below=%d)", frac, above, below)
+		}
+	}
+}
+
+// TestNormStreamPosition pins the documented contract that one Norm call
+// consumes exactly two Uint64 draws, so interleaving Norm with other draw
+// methods keeps replay deterministic.
+func TestNormStreamPosition(t *testing.T) {
+	a := NewRand(7)
+	b := NewRand(7)
+	a.Norm()
+	b.Uint64()
+	b.Uint64()
+	for i := 0; i < 16; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d after Norm: %#x, want %#x — Norm does not consume exactly two draws", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package fleet
+
+import "math"
+
+// The per-user metric vector. Every simulated user reduces to these
+// NumMetrics scalars; the fleet never materializes anything larger per
+// user, so aggregate memory is O(cohorts), not O(users).
+const (
+	MetricMeanHR = iota
+	MetricMAE
+	MetricFaultMAE
+	MetricEnergyDayMJ
+	MetricPhoneDayMJ
+	MetricLifeH
+	MetricSoCFinal
+	MetricOffloadFrac
+	MetricSimpleFrac
+	MetricFallbackFrac
+	MetricSkippedFrac
+	MetricFaultFrac
+	MetricReselections
+	MetricWindows
+	MetricExhausted
+	MetricRelaxed
+	NumMetrics
+)
+
+// metricSpec fixes one metric's aggregation geometry: its name in JSON
+// output, the tick scale for the exact integer sum, and the histogram
+// range the quantiles interpolate over. The specs are part of the summary
+// format — changing one changes every BENCH/replay artifact downstream.
+type metricSpec struct {
+	name   string
+	scale  float64 // ticks per unit for the exact int64 sum
+	lo, hi float64 // histogram range; out-of-range values clamp to the edge bins
+}
+
+var metricSpecs = [NumMetrics]metricSpec{
+	MetricMeanHR:       {"mean_hr", 1e6, 30, 210},
+	MetricMAE:          {"mae", 1e6, 0, 30},
+	MetricFaultMAE:     {"fault_mae", 1e6, 0, 60},
+	MetricEnergyDayMJ:  {"energy_day_mj", 1e3, 0, 200_000},
+	MetricPhoneDayMJ:   {"phone_day_mj", 1e3, 0, 200_000},
+	MetricLifeH:        {"life_h", 1e3, 0, 2000},
+	MetricSoCFinal:     {"soc_final", 1e9, 0, 1},
+	MetricOffloadFrac:  {"offload_frac", 1e9, 0, 1},
+	MetricSimpleFrac:   {"simple_frac", 1e9, 0, 1},
+	MetricFallbackFrac: {"fallback_frac", 1e9, 0, 1},
+	MetricSkippedFrac:  {"skipped_frac", 1e9, 0, 1},
+	MetricFaultFrac:    {"fault_frac", 1e9, 0, 1},
+	MetricReselections: {"reselections", 1, 0, 2000},
+	MetricWindows:      {"windows", 1, 0, 1e6},
+	MetricExhausted:    {"exhausted", 1e9, 0, 1},
+	MetricRelaxed:      {"relaxed", 1e9, 0, 1},
+}
+
+// MetricNames returns the metric names in vector order.
+func MetricNames() []string {
+	out := make([]string, NumMetrics)
+	for i, sp := range metricSpecs {
+		out[i] = sp.name
+	}
+	return out
+}
+
+// histBins is the fixed per-metric histogram resolution. 256 bins over
+// each metric's documented range keeps a full aggregator set around 2 KiB
+// per metric while giving sub-percent quantile resolution.
+const histBins = 256
+
+// maxTicks caps one observation's tick magnitude so that maxUsers
+// observations can never overflow the int64 sum: 9e10 × 1e8 < 2^63.
+// Every sane metric value ticks far below it (the largest, a 3650-day
+// window count, is ~1.6e8); the cap only bites on garbage inputs.
+const maxTicks = int64(9e10)
+
+// ScalarAgg is a bounded-memory streaming aggregate of one metric whose
+// Merge is exactly associative and commutative: the sum is integer ticks,
+// the histogram is integer counts, min/max are order-free. Summaries built
+// from it are therefore deep-equal across any sharding of the input — the
+// property the worker-count invariance tests pin.
+type ScalarAgg struct {
+	Count int64
+	Sum   int64 // ticks: round(value × spec.scale), exactly summed
+	Min   float64
+	Max   float64
+	Bins  [histBins]int64
+}
+
+// sanitize maps the values JSON cannot carry (NaN, ±Inf) onto encodable
+// ones; metric computation never produces them, but property tests and
+// checkpoint files are allowed to throw anything at Observe.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// Observe ingests one per-user value. It allocates nothing.
+func (a *ScalarAgg) Observe(sp *metricSpec, v float64) {
+	v = sanitize(v)
+	t := int64(math.Round(v * sp.scale))
+	if t > maxTicks {
+		t = maxTicks
+	} else if t < -maxTicks {
+		t = -maxTicks
+	}
+	a.Sum += t
+	if a.Count == 0 {
+		a.Min, a.Max = v, v
+	} else {
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Count++
+	bin := int(float64(histBins) * (v - sp.lo) / (sp.hi - sp.lo))
+	if bin < 0 {
+		bin = 0
+	} else if bin >= histBins {
+		bin = histBins - 1
+	}
+	a.Bins[bin]++
+}
+
+// Merge folds b into a. Merge order does not affect the result.
+func (a *ScalarAgg) Merge(b *ScalarAgg) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = *b
+		return
+	}
+	a.Count += b.Count
+	a.Sum += b.Sum
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	for i := range a.Bins {
+		a.Bins[i] += b.Bins[i]
+	}
+}
+
+// Mean returns the exact tick-sum mean.
+func (a *ScalarAgg) Mean(sp *metricSpec) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.Sum) / sp.scale / float64(a.Count)
+}
+
+// Quantile interpolates the q-quantile (q ∈ [0,1]) from the histogram:
+// linear within the covering bin, clamped to the observed [Min, Max].
+func (a *ScalarAgg) Quantile(sp *metricSpec, q float64) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	if a.Min == a.Max {
+		return a.Min
+	}
+	target := q * float64(a.Count)
+	binW := (sp.hi - sp.lo) / histBins
+	cum := int64(0)
+	for i, n := range a.Bins {
+		if n > 0 && float64(cum)+float64(n) >= target {
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			v := sp.lo + (float64(i)+frac)*binW
+			if v < a.Min {
+				v = a.Min
+			}
+			if v > a.Max {
+				v = a.Max
+			}
+			return v
+		}
+		cum += n
+	}
+	return a.Max
+}
+
+// Dist is the JSON rendering of one metric's population distribution.
+type Dist struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P05   float64 `json:"p05"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Dist renders the aggregate.
+func (a *ScalarAgg) Dist(sp *metricSpec) Dist {
+	return Dist{
+		Count: a.Count,
+		Mean:  a.Mean(sp),
+		Min:   a.Min,
+		Max:   a.Max,
+		P05:   a.Quantile(sp, 0.05),
+		P25:   a.Quantile(sp, 0.25),
+		P50:   a.Quantile(sp, 0.50),
+		P75:   a.Quantile(sp, 0.75),
+		P95:   a.Quantile(sp, 0.95),
+		P99:   a.Quantile(sp, 0.99),
+	}
+}
+
+// metricAggs is one full per-metric aggregate set.
+type metricAggs [NumMetrics]ScalarAgg
+
+func (m *metricAggs) observe(vec *[NumMetrics]float64) {
+	for i := range m {
+		m[i].Observe(&metricSpecs[i], vec[i])
+	}
+}
+
+func (m *metricAggs) merge(o *metricAggs) {
+	for i := range m {
+		m[i].Merge(&o[i])
+	}
+}
+
+// Agg accumulates a fleet shard: the overall distribution of every metric
+// plus a per-cohort breakdown. Each worker owns one Agg and the shards are
+// merged at the end; because every piece is order-invariant, the merged
+// result is identical for any worker count or completion order.
+type Agg struct {
+	Overall metricAggs
+	Cohorts []metricAggs
+}
+
+// NewAgg returns an aggregator for a mix of the given cohort count.
+func NewAgg(cohorts int) *Agg {
+	return &Agg{Cohorts: make([]metricAggs, cohorts)}
+}
+
+// Ingest folds one user's metric vector into the shard. The per-user hot
+// path: it performs no allocation (the AllocsPerRun guard pins this).
+func (a *Agg) Ingest(cohort int, vec *[NumMetrics]float64) {
+	a.Overall.observe(vec)
+	if cohort >= 0 && cohort < len(a.Cohorts) {
+		a.Cohorts[cohort].observe(vec)
+	}
+}
+
+// Merge folds shard b into a; both must be sized for the same mix.
+func (a *Agg) Merge(b *Agg) {
+	a.Overall.merge(&b.Overall)
+	for i := range a.Cohorts {
+		a.Cohorts[i].merge(&b.Cohorts[i])
+	}
+}
+
+// Users returns the number of ingested users.
+func (a *Agg) Users() int64 { return a.Overall[MetricMeanHR].Count }

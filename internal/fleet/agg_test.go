@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// randVec fills a plausible metric vector from the stream, with occasional
+// out-of-range and non-finite values to exercise the clamping paths.
+func randVec(rng *faults.Rand, vec *[NumMetrics]float64) {
+	for i := range vec {
+		sp := &metricSpecs[i]
+		span := sp.hi - sp.lo
+		switch rng.Uint64() % 16 {
+		case 0: // below range
+			vec[i] = sp.lo - span*rng.Float64()
+		case 1: // above range
+			vec[i] = sp.hi + span*rng.Float64()
+		case 2: // hostile
+			vec[i] = []float64{math.NaN(), math.Inf(1), math.Inf(-1)}[rng.Uint64()%3]
+		default:
+			vec[i] = sp.lo + span*rng.Float64()
+		}
+	}
+}
+
+// TestAggMergeShardingInvariant pins the aggregator's core contract: any
+// sharding of the users across any number of aggregates, merged in any
+// order, is deep-equal to sequential ingestion.
+func TestAggMergeShardingInvariant(t *testing.T) {
+	const users = 500
+	const cohorts = 5
+	rng := faults.NewRand(42)
+	vecs := make([][NumMetrics]float64, users)
+	coh := make([]int, users)
+	for i := range vecs {
+		randVec(rng, &vecs[i])
+		coh[i] = int(rng.Uint64() % cohorts)
+	}
+
+	want := NewAgg(cohorts)
+	for i := range vecs {
+		want.Ingest(coh[i], &vecs[i])
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		shards := int(rng.Uint64()%7) + 1
+		parts := make([]*Agg, shards)
+		for s := range parts {
+			parts[s] = NewAgg(cohorts)
+		}
+		// Random assignment of users to shards.
+		for i := range vecs {
+			parts[rng.Uint64()%uint64(shards)].Ingest(coh[i], &vecs[i])
+		}
+		// Merge in a random order (Fisher–Yates over the shard list).
+		for i := shards - 1; i > 0; i-- {
+			j := int(rng.Uint64() % uint64(i+1))
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		got := NewAgg(cohorts)
+		for _, p := range parts {
+			got.Merge(p)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: %d-shard merge differs from sequential ingestion", trial, shards)
+		}
+	}
+}
+
+// TestAggMergeAssociative checks (a⊕b)⊕c == a⊕(b⊕c) on the raw ScalarAgg.
+func TestAggMergeAssociative(t *testing.T) {
+	rng := faults.NewRand(7)
+	sp := &metricSpecs[MetricMAE]
+	build := func(n int) *ScalarAgg {
+		a := &ScalarAgg{}
+		for i := 0; i < n; i++ {
+			a.Observe(sp, sp.lo+(sp.hi-sp.lo)*rng.Float64())
+		}
+		return a
+	}
+	a, b, c := build(17), build(0), build(31) // include an empty shard
+
+	left := *a
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := *b
+	bc.Merge(c)
+	right := *a
+	right.Merge(&bc)
+
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("merge is not associative")
+	}
+
+	// Commutativity: a⊕c == c⊕a.
+	ac := *a
+	ac.Merge(c)
+	ca := *c
+	ca.Merge(a)
+	if !reflect.DeepEqual(ac, ca) {
+		t.Fatal("merge is not commutative")
+	}
+}
+
+// TestAggIngestNoAllocs pins the per-user hot path: ingesting a metric
+// vector must not allocate, or fleet-scale runs would hammer the GC.
+func TestAggIngestNoAllocs(t *testing.T) {
+	agg := NewAgg(5)
+	var vec [NumMetrics]float64
+	rng := faults.NewRand(3)
+	randVec(rng, &vec)
+	allocs := testing.AllocsPerRun(1000, func() {
+		agg.Ingest(2, &vec)
+	})
+	if allocs != 0 {
+		t.Fatalf("Agg.Ingest allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestQuantileSanity checks ordering, range clamping and the exact mean
+// against a directly computed reference.
+func TestQuantileSanity(t *testing.T) {
+	sp := &metricSpecs[MetricMAE]
+	a := &ScalarAgg{}
+	rng := faults.NewRand(11)
+	sum := 0.0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		v := 2 + 6*rng.Float64() // MAE-ish values in [2, 8)
+		a.Observe(sp, v)
+		sum += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	d := a.Dist(sp)
+	if d.Count != n {
+		t.Fatalf("count %d, want %d", d.Count, n)
+	}
+	if math.Abs(d.Mean-sum/n) > 1e-5 {
+		t.Fatalf("mean %v, want %v (tick rounding should be ~1e-6)", d.Mean, sum/n)
+	}
+	if d.Min != lo || d.Max != hi {
+		t.Fatalf("min/max %v/%v, want %v/%v", d.Min, d.Max, lo, hi)
+	}
+	qs := []float64{d.P05, d.P25, d.P50, d.P75, d.P95, d.P99}
+	prev := d.Min
+	for i, q := range qs {
+		if q < prev-1e-12 {
+			t.Fatalf("quantile %d (%v) below its predecessor %v", i, q, prev)
+		}
+		if q < d.Min || q > d.Max {
+			t.Fatalf("quantile %d (%v) outside observed [%v, %v]", i, q, d.Min, d.Max)
+		}
+		prev = q
+	}
+	// Uniform [2,8): the median must land near 5 within a histogram bin.
+	binW := (sp.hi - sp.lo) / histBins
+	if math.Abs(d.P50-5) > 2*binW+0.1 {
+		t.Fatalf("median %v too far from 5 for uniform [2,8)", d.P50)
+	}
+}
+
+// TestObserveHostileValues checks NaN/±Inf are mapped to encodable values
+// and out-of-range values clamp to the edge bins without losing counts.
+func TestObserveHostileValues(t *testing.T) {
+	sp := &metricSpecs[MetricSoCFinal]
+	a := &ScalarAgg{}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5, 7, 0.5} {
+		a.Observe(sp, v)
+	}
+	if a.Count != 6 {
+		t.Fatalf("count %d, want 6", a.Count)
+	}
+	total := int64(0)
+	for _, n := range a.Bins {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("binned %d of 6 observations", total)
+	}
+	if math.IsNaN(a.Min) || math.IsInf(a.Min, 0) || math.IsNaN(a.Max) || math.IsInf(a.Max, 0) {
+		t.Fatalf("min/max %v/%v not JSON-encodable", a.Min, a.Max)
+	}
+	d := a.Dist(sp)
+	for _, v := range []float64{d.Mean, d.P05, d.P50, d.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("dist value %v not JSON-encodable", v)
+		}
+	}
+}
+
+// TestMetricSpecsOverflowMargin re-derives the overflow argument in code:
+// the largest representable observation of every metric, clamped and
+// ticked, times maxUsers must fit int64.
+func TestMetricSpecsOverflowMargin(t *testing.T) {
+	for i, sp := range metricSpecs {
+		if sp.hi <= sp.lo {
+			t.Fatalf("metric %s: empty range [%v, %v]", sp.name, sp.lo, sp.hi)
+		}
+		if ticks := float64(maxTicks); ticks*float64(maxUsers) >= math.MaxInt64 {
+			t.Fatalf("metric %d: tick cap %v × %d users overflows int64", i, ticks, maxUsers)
+		}
+		// The documented range itself must tick under the cap, or in-range
+		// values would silently saturate.
+		worst := math.Max(math.Abs(sp.lo), math.Abs(sp.hi)) * sp.scale
+		if worst > float64(maxTicks) {
+			t.Fatalf("metric %s: in-range value ticks at %v, above the %d cap", sp.name, worst, maxTicks)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/hw/power"
+)
+
+// Cohort is one slice of the fleet's scenario mix: which fault scenario
+// its users live under, which operating constraint they set, and what
+// share of the population they make up. Users are assigned to cohorts by
+// a weighted draw from their own seed fork, so cohort membership is part
+// of the per-user replay contract.
+type Cohort struct {
+	// Scenario is a faults preset name (commute, gym, worstcase, none).
+	Scenario string
+	// Kind selects the constraint dimension: "mae" (BPM bound) or "mj"
+	// (per-prediction watch-energy bound in millijoules).
+	Kind string
+	// Bound is the constraint threshold in the Kind's unit.
+	Bound float64
+	// Weight is the cohort's relative share; weights need not sum to 1.
+	Weight float64
+}
+
+// Constraint renders the cohort's operating constraint.
+func (c Cohort) Constraint() core.Constraint {
+	if c.Kind == "mj" {
+		return core.EnergyConstraint(power.MilliJoules(c.Bound))
+	}
+	return core.MAEConstraint(c.Bound)
+}
+
+// ConstraintString is the mix-syntax form of the constraint ("mae4",
+// "mj0.5"). Bounds format with %g at full precision, so a formatted mix
+// re-parses to the exact same float64s.
+func (c Cohort) ConstraintString() string {
+	return c.Kind + strconv.FormatFloat(c.Bound, 'g', -1, 64)
+}
+
+// Name identifies the cohort in summaries: "scenario:constraint".
+func (c Cohort) Name() string { return c.Scenario + ":" + c.ConstraintString() }
+
+// String renders the full mix entry: "scenario:constraint:weight".
+func (c Cohort) String() string {
+	return c.Name() + ":" + strconv.FormatFloat(c.Weight, 'g', -1, 64)
+}
+
+// Mix is the fleet's cohort list in declaration order (the order fixes
+// cohort indices, which the checkpoint file stores per user).
+type Mix []Cohort
+
+// maxCohorts bounds the mix so a cohort index always fits the checkpoint
+// file's one-byte activity column.
+const maxCohorts = 256
+
+// ParseMix parses the -mix syntax: comma-separated
+// "scenario:constraint:weight" entries, e.g.
+//
+//	none:mae4:0.3,commute:mae4:0.25,gym:mj1:0.2,worstcase:mae5:0.25
+//
+// Scenario must be a faults preset, constraint is "mae<bpm>" or
+// "mj<millijoules>" with a positive finite bound, weight is a positive
+// finite share. The parsed mix always passes Validate.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("fleet: empty mix")
+	}
+	parts := strings.Split(s, ",")
+	m := make(Mix, 0, len(parts))
+	for i, part := range parts {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("fleet: mix entry %d %q: want scenario:constraint:weight", i, part)
+		}
+		c := Cohort{Scenario: fields[0]}
+		switch {
+		case strings.HasPrefix(fields[1], "mae"):
+			c.Kind = "mae"
+		case strings.HasPrefix(fields[1], "mj"):
+			c.Kind = "mj"
+		default:
+			return nil, fmt.Errorf("fleet: mix entry %d: constraint %q must start with mae or mj", i, fields[1])
+		}
+		bound, err := strconv.ParseFloat(fields[1][len(c.Kind):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %d: constraint bound %q: %v", i, fields[1], err)
+		}
+		c.Bound = bound
+		if c.Weight, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %d: weight %q: %v", i, fields[2], err)
+		}
+		m = append(m, c)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// String renders the mix back into ParseMix syntax; ParseMix(m.String())
+// reproduces m exactly (the fuzz target pins this round trip).
+func (m Mix) String() string {
+	var b strings.Builder
+	for i, c := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Validate checks the mix's invariants: known scenarios, positive finite
+// bounds and weights, no duplicate cohorts, and at most 256 cohorts (the
+// checkpoint stores the cohort index in a byte column).
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("fleet: empty mix")
+	}
+	if len(m) > maxCohorts {
+		return fmt.Errorf("fleet: %d cohorts exceed the %d-cohort limit", len(m), maxCohorts)
+	}
+	seen := make(map[string]bool, len(m))
+	total := 0.0
+	for i, c := range m {
+		if _, ok := faults.ByName(c.Scenario); !ok {
+			return fmt.Errorf("fleet: cohort %d: unknown scenario %q (have %s)", i, c.Scenario, strings.Join(faults.Names(), "|"))
+		}
+		if c.Kind != "mae" && c.Kind != "mj" {
+			return fmt.Errorf("fleet: cohort %d: constraint kind %q is not mae or mj", i, c.Kind)
+		}
+		if !isFinite(c.Bound) || c.Bound <= 0 {
+			return fmt.Errorf("fleet: cohort %d: bound %v must be positive and finite", i, c.Bound)
+		}
+		if !isFinite(c.Weight) || c.Weight <= 0 {
+			return fmt.Errorf("fleet: cohort %d: weight %v must be positive and finite", i, c.Weight)
+		}
+		if name := c.Name(); seen[name] {
+			return fmt.Errorf("fleet: duplicate cohort %s", name)
+		} else {
+			seen[name] = true
+		}
+		total += c.Weight
+	}
+	if !isFinite(total) || total <= 0 {
+		return fmt.Errorf("fleet: mix weights sum to %v", total)
+	}
+	return nil
+}
+
+// totalWeight sums the cohort weights (Validate guarantees > 0, finite).
+func (m Mix) totalWeight() float64 {
+	total := 0.0
+	for _, c := range m {
+		total += c.Weight
+	}
+	return total
+}
+
+// DefaultMix is the reference scenario mix: a clean-link slice, commuters
+// under an accuracy and an energy constraint, gym users, and a worst-case
+// stress slice.
+func DefaultMix() Mix {
+	return Mix{
+		{Scenario: "none", Kind: "mae", Bound: 4, Weight: 0.30},
+		{Scenario: "commute", Kind: "mae", Bound: 4, Weight: 0.25},
+		{Scenario: "commute", Kind: "mj", Bound: 1, Weight: 0.15},
+		{Scenario: "gym", Kind: "mae", Bound: 3, Weight: 0.15},
+		{Scenario: "worstcase", Kind: "mae", Bound: 5, Weight: 0.15},
+	}
+}
+
+// Population parameterizes the per-user physiology sampling: how the
+// dalia synth knobs vary across the fleet. Zero-variance settings are
+// rejected by Validate — a degenerate population silently collapses every
+// user onto the same physiology, which defeats the fleet's purpose and
+// has historically hidden seed-fork bugs.
+type Population struct {
+	// DayScale compresses each user's unique recording relative to the
+	// full 148-minute DaLiA protocol; the recording replays cyclically to
+	// fill the simulated horizon. 0.01 keeps per-user setup around a
+	// millisecond; the shortest protocol bouts (the 5-minute stairs and
+	// table-soccer slots) compress below one analysis window at that scale
+	// and drop out of the windowed signal — raise DayScale if per-user
+	// coverage of every activity matters more than throughput.
+	DayScale float64
+	// CouplingMedian and CouplingSpread sample each user's motion-artifact
+	// coupling from a log-normal: median·exp(spread·N(0,1)).
+	CouplingMedian float64
+	CouplingSpread float64
+	// NoiseMin/NoiseMax bound the uniform per-user PPG sensor-noise sigma.
+	NoiseMin, NoiseMax float64
+	// HRShiftSigma is the standard deviation of the per-user resting-HR
+	// shift in BPM (dalia.Config.HRShift).
+	HRShiftSigma float64
+}
+
+// DefaultPopulation returns the calibrated population spread.
+func DefaultPopulation() Population {
+	return Population{
+		DayScale:       0.01,
+		CouplingMedian: 1.0,
+		CouplingSpread: 0.35,
+		NoiseMin:       0.03,
+		NoiseMax:       0.10,
+		HRShiftSigma:   4,
+	}
+}
+
+// Validate rejects non-finite and degenerate (zero-variance) populations.
+func (p Population) Validate() error {
+	switch {
+	case !isFinite(p.DayScale) || p.DayScale <= 0 || p.DayScale > 1:
+		return fmt.Errorf("fleet: DayScale %v must be in (0, 1]", p.DayScale)
+	case !isFinite(p.CouplingMedian) || p.CouplingMedian <= 0:
+		return fmt.Errorf("fleet: CouplingMedian %v must be positive and finite", p.CouplingMedian)
+	case !isFinite(p.CouplingSpread) || p.CouplingSpread <= 0:
+		return fmt.Errorf("fleet: CouplingSpread %v must be positive and finite (zero variance is degenerate)", p.CouplingSpread)
+	case !isFinite(p.NoiseMin) || p.NoiseMin < 0:
+		return fmt.Errorf("fleet: NoiseMin %v must be non-negative and finite", p.NoiseMin)
+	case !isFinite(p.NoiseMax) || p.NoiseMax <= p.NoiseMin:
+		return fmt.Errorf("fleet: NoiseMax %v must exceed NoiseMin %v (zero variance is degenerate)", p.NoiseMax, p.NoiseMin)
+	case !isFinite(p.HRShiftSigma) || p.HRShiftSigma <= 0:
+		return fmt.Errorf("fleet: HRShiftSigma %v must be positive and finite (zero variance is degenerate)", p.HRShiftSigma)
+	}
+	return nil
+}
+
+// ModelSpec describes one surrogate zoo member: the error model replaces
+// real inference with a per-user bias plus motion-scaled noise, so the
+// fleet tick loop costs an index lookup per window instead of a network
+// forward pass. Names should match the calibrated cycle counts in
+// internal/hw/mcu (AT, TimePPG-Small, TimePPG-Big); unknown names fall
+// back to the ops-based cycle estimate.
+type ModelSpec struct {
+	Name   string
+	Ops    int64
+	Params int64
+	// BaseErr is the error sigma (BPM) on a still wrist; MotionErr adds
+	// sigma per unit of gravity-free accelerometer RMS (g). Together they
+	// reproduce the paper's pattern of cheap models degrading much faster
+	// under motion than the TCNs.
+	BaseErr   float64
+	MotionErr float64
+	// BiasSigma spreads a per-user systematic offset (miscalibration,
+	// skin tone, sensor fit) across the fleet.
+	BiasSigma float64
+}
+
+// DefaultModels returns the surrogate three-model zoo in zoo order (least
+// to most accurate), name-matched to the MCU's calibrated cycle counts.
+func DefaultModels() []ModelSpec {
+	return []ModelSpec{
+		{Name: "AT", Ops: 3_000, Params: 0, BaseErr: 4.0, MotionErr: 14.0, BiasSigma: 2.0},
+		{Name: "TimePPG-Small", Ops: 77_630, Params: 8_700, BaseErr: 2.5, MotionErr: 6.0, BiasSigma: 1.2},
+		{Name: "TimePPG-Big", Ops: 560_000, Params: 63_000, BaseErr: 1.8, MotionErr: 3.5, BiasSigma: 0.8},
+	}
+}
+
+func validateModels(specs []ModelSpec) error {
+	if len(specs) < 2 {
+		return fmt.Errorf("fleet: the zoo needs at least two models, got %d", len(specs))
+	}
+	seen := make(map[string]bool, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return fmt.Errorf("fleet: model %d has an empty name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("fleet: duplicate model %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Ops <= 0 {
+			return fmt.Errorf("fleet: model %q: Ops %d must be positive", s.Name, s.Ops)
+		}
+		if s.Params < 0 {
+			return fmt.Errorf("fleet: model %q: Params %d must be non-negative", s.Name, s.Params)
+		}
+		if !isFinite(s.BaseErr) || s.BaseErr <= 0 {
+			return fmt.Errorf("fleet: model %q: BaseErr %v must be positive and finite", s.Name, s.BaseErr)
+		}
+		if !isFinite(s.MotionErr) || s.MotionErr < 0 {
+			return fmt.Errorf("fleet: model %q: MotionErr %v must be non-negative and finite", s.Name, s.MotionErr)
+		}
+		if !isFinite(s.BiasSigma) || s.BiasSigma < 0 {
+			return fmt.Errorf("fleet: model %q: BiasSigma %v must be non-negative and finite", s.Name, s.BiasSigma)
+		}
+	}
+	return nil
+}
+
+// maxUsers bounds the fleet so the aggregators' int64 tick sums cannot
+// overflow: every metric's per-user tick magnitude stays under ~9e10 (see
+// agg.go), and 9e10 × 1e8 users fits int64 with margin.
+const maxUsers = 100_000_000
+
+// Config parameterizes a fleet run. Start from DefaultConfig.
+type Config struct {
+	// Users is the fleet size; Days the simulated horizon per user.
+	Users int
+	Days  float64
+	// Seed roots every per-user fork; same seed ⇒ byte-identical summary.
+	Seed uint64
+	// Mix assigns users to scenario×constraint cohorts by weighted draw.
+	Mix Mix
+	// Population spreads the per-user physiology knobs.
+	Population Population
+	// Models is the surrogate zoo in zoo order (least → most accurate).
+	Models []ModelSpec
+	// Workers caps the simulation goroutines; 0 means GOMAXPROCS. The
+	// summary is worker-count invariant, so this is purely a throughput
+	// knob.
+	Workers int
+	// Checkpoint, when non-empty, streams per-user metric rows into a
+	// reccache file at this path, enabling Resume after an interrupted
+	// run. The finished file is published by atomic rename.
+	Checkpoint string
+	// Resume continues from Checkpoint's partial file when present (and
+	// geometry-compatible); absent, the run starts fresh.
+	Resume bool
+	// OnUser, when set, receives every simulated user's result. It is
+	// called concurrently from worker goroutines and must lock its own
+	// state; users re-ingested from a resumed checkpoint are not
+	// re-simulated and do not trigger it.
+	OnUser func(*UserResult)
+	// Interrupt, when set, is polled with the completed-user count after
+	// each simulated user; returning true checkpoints and aborts the run
+	// with ErrInterrupted (the kill switch the resume tests use).
+	Interrupt func(done int) bool
+}
+
+// DefaultConfig returns a small reference fleet (100 users × 1 day).
+func DefaultConfig() Config {
+	return Config{
+		Users:      100,
+		Days:       1,
+		Seed:       1,
+		Mix:        DefaultMix(),
+		Population: DefaultPopulation(),
+		Models:     DefaultModels(),
+	}
+}
+
+// Validate checks the whole configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("fleet: Users %d must be positive", c.Users)
+	case c.Users > maxUsers:
+		return fmt.Errorf("fleet: Users %d exceeds the %d limit", c.Users, maxUsers)
+	case !isFinite(c.Days) || c.Days <= 0 || c.Days > 3650:
+		return fmt.Errorf("fleet: Days %v must be in (0, 3650]", c.Days)
+	case c.Workers < 0:
+		return fmt.Errorf("fleet: Workers %d must be non-negative", c.Workers)
+	case c.Resume && c.Checkpoint == "":
+		return fmt.Errorf("fleet: Resume requires a Checkpoint path")
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if err := c.Population.Validate(); err != nil {
+		return err
+	}
+	return validateModels(c.Models)
+}
+
+// hash fingerprints every summary-affecting knob. The checkpoint file
+// embeds it in a column name, so resuming under a changed configuration
+// fails reccache's geometry check instead of silently mixing two runs.
+func (c *Config) hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "u=%d d=%g s=%d mix=%s", c.Users, c.Days, c.Seed, c.Mix.String())
+	p := c.Population
+	fmt.Fprintf(h, " pop=%g,%g,%g,%g,%g,%g", p.DayScale, p.CouplingMedian, p.CouplingSpread, p.NoiseMin, p.NoiseMax, p.HRShiftSigma)
+	for _, m := range c.Models {
+		fmt.Fprintf(h, " m=%s,%d,%d,%g,%g,%g", m.Name, m.Ops, m.Params, m.BaseErr, m.MotionErr, m.BiasSigma)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

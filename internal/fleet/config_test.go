@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestParseMixRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"none:mae4:1",
+		"none:mae4:0.3,commute:mae4:0.25,commute:mj1:0.15,gym:mae3:0.15,worstcase:mae5:0.15",
+		"gym:mj0.5:2,worstcase:mae6.25:1e-3",
+	} {
+		m, err := ParseMix(s)
+		if err != nil {
+			t.Fatalf("ParseMix(%q): %v", s, err)
+		}
+		m2, err := ParseMix(m.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (formatted from %q): %v", m.String(), s, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip of %q changed the mix: %v vs %v", s, m, m2)
+		}
+	}
+	if got := DefaultMix().String(); got != "none:mae4:0.3,commute:mae4:0.25,commute:mj1:0.15,gym:mae3:0.15,worstcase:mae5:0.15" {
+		t.Fatalf("default mix formats as %q", got)
+	}
+}
+
+func TestParseMixRejects(t *testing.T) {
+	for _, s := range []string{
+		"",                        // empty
+		"none:mae4",               // missing weight
+		"bogus:mae4:1",            // unknown scenario
+		"none:watts4:1",           // unknown constraint kind
+		"none:mae:1",              // missing bound
+		"none:mae0:1",             // zero bound
+		"none:mae-3:1",            // negative bound
+		"none:maeInf:1",           // non-finite bound
+		"none:mae4:0",             // zero weight
+		"none:mae4:NaN",           // non-finite weight
+		"none:mae4:1,none:mae4:2", // duplicate cohort
+	} {
+		if _, err := ParseMix(s); err == nil {
+			t.Errorf("ParseMix(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestPopulationValidateRejectsDegenerate(t *testing.T) {
+	base := DefaultPopulation()
+	mutate := []struct {
+		name string
+		fn   func(*Population)
+	}{
+		{"zero DayScale", func(p *Population) { p.DayScale = 0 }},
+		{"DayScale above 1", func(p *Population) { p.DayScale = 1.5 }},
+		{"zero coupling spread", func(p *Population) { p.CouplingSpread = 0 }},
+		{"negative coupling median", func(p *Population) { p.CouplingMedian = -1 }},
+		{"noise band collapsed", func(p *Population) { p.NoiseMax = p.NoiseMin }},
+		{"zero HR shift sigma", func(p *Population) { p.HRShiftSigma = 0 }},
+		{"NaN HR shift sigma", func(p *Population) { p.HRShiftSigma = math.NaN() }},
+		{"Inf coupling", func(p *Population) { p.CouplingMedian = math.Inf(1) }},
+	}
+	for _, m := range mutate {
+		p := base
+		m.fn(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default population rejected: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	mutate := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"zero users", func(c *Config) { c.Users = 0 }},
+		{"too many users", func(c *Config) { c.Users = maxUsers + 1 }},
+		{"zero days", func(c *Config) { c.Days = 0 }},
+		{"NaN days", func(c *Config) { c.Days = math.NaN() }},
+		{"absurd days", func(c *Config) { c.Days = 10000 }},
+		{"negative workers", func(c *Config) { c.Workers = -1 }},
+		{"resume without checkpoint", func(c *Config) { c.Resume = true }},
+		{"empty mix", func(c *Config) { c.Mix = nil }},
+		{"one-model zoo", func(c *Config) { c.Models = c.Models[:1] }},
+		{"duplicate model", func(c *Config) { c.Models[1].Name = c.Models[0].Name }},
+		{"zero base err", func(c *Config) { c.Models[0].BaseErr = 0 }},
+	}
+	for _, m := range mutate {
+		cfg := DefaultConfig()
+		m.fn(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+	}
+}
+
+// TestConfigHashCoversKnobs ensures every summary-affecting knob moves the
+// checkpoint-geometry hash, so resuming under a changed configuration is
+// rejected rather than silently mixed.
+func TestConfigHashCoversKnobs(t *testing.T) {
+	base := DefaultConfig()
+	h0 := base.hash()
+	mutate := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"users", func(c *Config) { c.Users = 7 }},
+		{"days", func(c *Config) { c.Days = 2 }},
+		{"seed", func(c *Config) { c.Seed = 99 }},
+		{"mix", func(c *Config) { c.Mix = Mix{{Scenario: "none", Kind: "mae", Bound: 4, Weight: 1}} }},
+		{"population", func(c *Config) { c.Population.HRShiftSigma = 5 }},
+		{"model error", func(c *Config) { c.Models[0].BaseErr = 9 }},
+	}
+	for _, m := range mutate {
+		cfg := DefaultConfig()
+		m.fn(&cfg)
+		if cfg.hash() == h0 {
+			t.Errorf("changing %s does not change the config hash", m.name)
+		}
+	}
+	// Throughput knobs must NOT change the hash: a resumed run may use a
+	// different worker count.
+	cfg := DefaultConfig()
+	cfg.Workers = 13
+	cfg.Checkpoint = "elsewhere.rec"
+	if cfg.hash() != h0 {
+		t.Error("worker/checkpoint knobs leak into the config hash")
+	}
+}
+
+func TestCheckpointNames(t *testing.T) {
+	cfg := DefaultConfig()
+	names := cfg.checkpointNames()
+	if len(names) != NumMetrics+1 {
+		t.Fatalf("%d checkpoint columns, want %d", len(names), NumMetrics+1)
+	}
+	if !strings.HasPrefix(names[0], "fleetcfg:") {
+		t.Fatalf("first column %q does not carry the config hash", names[0])
+	}
+	for i, want := range MetricNames() {
+		if names[i+1] != want {
+			t.Fatalf("column %d is %q, want %q", i+1, names[i+1], want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// testConfig is a fleet small enough for CI but broad enough to cross
+// every cohort scenario (clean and fault-injected paths) and both
+// constraint kinds.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 24
+	cfg.Days = 0.02
+	cfg.Seed = 1
+	return cfg
+}
+
+func mustJSON(t *testing.T, s *Summary) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("summary does not encode: %v", err)
+	}
+	return b
+}
+
+// TestWorkerCountInvariance pins the tentpole determinism claim: the same
+// seed produces a deep-equal (and byte-identical) summary for 1, 4 and
+// GOMAXPROCS workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var want *Summary
+	var wantJSON []byte
+	for _, w := range counts {
+		cfg := testConfig()
+		cfg.Workers = w
+		sum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want, wantJSON = sum, mustJSON(t, sum)
+			continue
+		}
+		if !reflect.DeepEqual(sum, want) {
+			t.Fatalf("workers=%d summary differs from workers=%d", w, counts[0])
+		}
+		if got := mustJSON(t, sum); string(got) != string(wantJSON) {
+			t.Fatalf("workers=%d JSON differs from workers=%d", w, counts[0])
+		}
+	}
+	if want.Users != 24 {
+		t.Fatalf("summary covers %d users, want 24", want.Users)
+	}
+	if want.Windows <= 0 {
+		t.Fatal("summary reports no windows")
+	}
+}
+
+// TestSingleUserExtraction pins the seed-fork contract: any fleet user
+// replayed standalone through SimulateUser on a freshly built Fleet is
+// deep-equal to that user's result inside a concurrent whole-fleet run.
+func TestSingleUserExtraction(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	var mu sync.Mutex
+	inFleet := make(map[int]*UserResult)
+	cfg.OnUser = func(r *UserResult) {
+		mu.Lock()
+		inFleet[r.ID] = r
+		mu.Unlock()
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(inFleet) != cfg.Users {
+		t.Fatalf("OnUser saw %d users, want %d", len(inFleet), cfg.Users)
+	}
+
+	standalone, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 7, 23} {
+		solo, err := standalone.SimulateUser(id)
+		if err != nil {
+			t.Fatalf("user %d standalone: %v", id, err)
+		}
+		fl := inFleet[id]
+		if fl == nil {
+			t.Fatalf("user %d missing from fleet run", id)
+		}
+		if !reflect.DeepEqual(solo.Result, fl.Result) {
+			t.Fatalf("user %d: standalone sim.Result differs from fleet run", id)
+		}
+		if solo.Metrics != fl.Metrics || solo.Cohort != fl.Cohort || solo.Relaxed != fl.Relaxed {
+			t.Fatalf("user %d: standalone metrics differ from fleet run", id)
+		}
+	}
+}
+
+// TestCheckpointResume kills a fleet run mid-shard and resumes it: the
+// finished summary must be byte-identical to an uninterrupted run's, and
+// the checkpoint must finalize onto its published path.
+func TestCheckpointResume(t *testing.T) {
+	base, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := mustJSON(t, base)
+
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fleet.rec")
+
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.Checkpoint = ck
+	cfg.Interrupt = func(done int) bool { return done >= 8 }
+	if _, err := Run(cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if _, err := os.Stat(ck); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final checkpoint %s published by an interrupted run", ck)
+	}
+
+	res := testConfig()
+	res.Workers = 2
+	res.Checkpoint = ck
+	res.Resume = true
+	sum, err := Run(res)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got := mustJSON(t, sum); string(got) != string(baseJSON) {
+		t.Fatal("resumed summary differs from uninterrupted run")
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("finished run did not publish the checkpoint: %v", err)
+	}
+
+	// A checkpointed uninterrupted run must also match.
+	fresh := testConfig()
+	fresh.Checkpoint = filepath.Join(dir, "fresh.rec")
+	sum2, err := Run(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, sum2); string(got) != string(baseJSON) {
+		t.Fatal("checkpointed summary differs from checkpoint-free run")
+	}
+}
+
+// TestResumeRejectsChangedConfig pins the geometry guard: a partial
+// checkpoint written under one configuration must refuse to resume under
+// another instead of silently mixing two populations.
+func TestResumeRejectsChangedConfig(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fleet.rec")
+
+	cfg := testConfig()
+	cfg.Checkpoint = ck
+	cfg.Interrupt = func(done int) bool { return done >= 5 }
+	if _, err := Run(cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+
+	changed := testConfig()
+	changed.Seed = 2 // any summary-affecting knob must invalidate the file
+	changed.Checkpoint = ck
+	changed.Resume = true
+	if _, err := Run(changed); err == nil {
+		t.Fatal("resume under a changed seed succeeded; want geometry rejection")
+	}
+}
+
+// TestResumeWithoutPartialStartsFresh covers the first night of a
+// checkpointed cron job: -resume with no partial file behaves like a
+// fresh run rather than failing.
+func TestResumeWithoutPartialStartsFresh(t *testing.T) {
+	cfg := testConfig()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "fleet.rec")
+	cfg.Resume = true
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Users != cfg.Users {
+		t.Fatalf("fresh -resume run covered %d users, want %d", sum.Users, cfg.Users)
+	}
+}

@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFleetConfig fuzzes the -mix parser: whatever the input, ParseMix
+// must not panic, and every accepted mix must round-trip exactly through
+// String — the property the byte-identical replay gate leans on when a
+// mix travels through a command line.
+func FuzzFleetConfig(f *testing.F) {
+	f.Add("none:mae4:1")
+	f.Add("none:mae4:0.3,commute:mae4:0.25,commute:mj1:0.15,gym:mae3:0.15,worstcase:mae5:0.15")
+	f.Add("gym:mj0.5:2,worstcase:mae6.25:1e-3")
+	f.Add("none:mae4:1,none:mae4:2")
+	f.Add(":::,")
+	f.Add("none:maeNaN:1")
+	f.Add("none:mj1e308:1e308")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMix(s)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseMix(%q) returned a mix its own Validate rejects: %v", s, err)
+		}
+		formatted := m.String()
+		m2, err := ParseMix(formatted)
+		if err != nil {
+			t.Fatalf("formatted mix %q (from %q) does not re-parse: %v", formatted, s, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip changed the mix: %#v vs %#v (input %q)", m, m2, s)
+		}
+		if m2.String() != formatted {
+			t.Fatalf("formatting is not a fixed point: %q vs %q", formatted, m2.String())
+		}
+	})
+}

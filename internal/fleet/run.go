@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dalia"
+	"repro/internal/reccache"
+)
+
+// ErrInterrupted is returned by Run when Config.Interrupt stopped the run
+// early. The checkpoint (when configured) holds the completed prefix; a
+// Resume run finishes the remainder and produces a summary byte-identical
+// to an uninterrupted run's.
+var ErrInterrupted = errors.New("fleet: run interrupted")
+
+// flushEvery is the checkpoint cadence in completed users. 256 keeps the
+// durable prefix within seconds of the frontier at fleet rates while
+// amortizing the fsync each Flush performs.
+const flushEvery = 256
+
+// checkpointNames is the checkpoint file's column-name vector: the config
+// hash rides in the first name, so reccache.Resume's geometry check
+// rejects a partial file written under any different fleet configuration
+// instead of silently mixing two populations.
+func (c *Config) checkpointNames() []string {
+	names := make([]string, 0, NumMetrics+1)
+	names = append(names, "fleetcfg:"+c.hash())
+	return append(names, MetricNames()...)
+}
+
+// userRecord encodes one finished user as a checkpoint row: the metric
+// vector in the prediction columns (column 0 is the config-hash marker),
+// the cohort index in the activity byte.
+func userRecord(header *core.RecordHeader, r *UserResult) core.WindowRecord {
+	preds := make([]float64, NumMetrics+1)
+	copy(preds[1:], r.Metrics[:])
+	return core.WindowRecord{
+		Activity: dalia.Activity(r.Cohort),
+		Header:   header,
+		Preds:    preds,
+	}
+}
+
+// Run builds a fleet from cfg and simulates it.
+func Run(cfg Config) (*Summary, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
+}
+
+// Run simulates every user and returns the population summary. Users are
+// sharded over Config.Workers goroutines (GOMAXPROCS when zero) pulling
+// ids from a shared counter; each worker folds its results into a private
+// Agg and the shards merge at the end, so the summary is deep-equal for
+// any worker count. With a checkpoint configured, finished users land as
+// index-fixed rows and the contiguous prefix is checkpointed every
+// flushEvery completions; Resume re-ingests that prefix instead of
+// recomputing it.
+func (f *Fleet) Run() (*Summary, error) {
+	cfg := f.cfg
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Users {
+		workers = cfg.Users
+	}
+
+	agg := NewAgg(len(cfg.Mix))
+	var writer *reccache.Writer
+	var header *core.RecordHeader
+	start := 0
+	if cfg.Checkpoint != "" {
+		names := cfg.checkpointNames()
+		header = core.NewRecordHeader(names...)
+		var err error
+		if cfg.Resume {
+			writer, err = reccache.Resume(cfg.Checkpoint, names, cfg.Users)
+			if errors.Is(err, os.ErrNotExist) {
+				// Nothing to resume: behave like a fresh run.
+				writer, err = reccache.Create(cfg.Checkpoint, names, cfg.Users)
+			}
+		} else {
+			writer, err = reccache.Create(cfg.Checkpoint, names, cfg.Users)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+		}
+		start = writer.Count()
+		if start > 0 {
+			if err := reingest(cfg.Checkpoint, start, agg); err != nil {
+				writer.Close()
+				return nil, err
+			}
+		}
+	}
+
+	var (
+		next, done atomic.Int64
+		stop       atomic.Bool
+		mu         sync.Mutex // first error + OnUser serialization
+		firstErr   error
+	)
+	next.Store(int64(start))
+	done.Store(int64(start))
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	locals := make([]*Agg, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		local := NewAgg(len(cfg.Mix))
+		locals[w] = local
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				id := int(next.Add(1)) - 1
+				if id >= cfg.Users {
+					return
+				}
+				res, err := f.SimulateUser(id)
+				if err != nil {
+					fail(err)
+					return
+				}
+				local.Ingest(res.Cohort, &res.Metrics)
+				if writer != nil {
+					rec := userRecord(header, res)
+					if err := writer.WriteSegment(id, []core.WindowRecord{rec}); err != nil {
+						fail(fmt.Errorf("fleet: checkpoint user %d: %w", id, err))
+						return
+					}
+				}
+				if cfg.OnUser != nil {
+					mu.Lock()
+					cfg.OnUser(res)
+					mu.Unlock()
+				}
+				d := int(done.Add(1))
+				if writer != nil && d%flushEvery == 0 {
+					if err := writer.Flush(); err != nil {
+						fail(fmt.Errorf("fleet: checkpoint flush: %w", err))
+						return
+					}
+				}
+				if cfg.Interrupt != nil && cfg.Interrupt(d) {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		if writer != nil {
+			writer.Close()
+		}
+		return nil, err
+	}
+	if stop.Load() {
+		if writer != nil {
+			if err := writer.Close(); err != nil {
+				return nil, fmt.Errorf("fleet: checkpoint close: %w", err)
+			}
+		}
+		return nil, ErrInterrupted
+	}
+	for _, local := range locals {
+		agg.Merge(local)
+	}
+	if writer != nil {
+		if err := writer.Finalize(); err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint finalize: %w", err)
+		}
+	}
+	return f.buildSummary(agg), nil
+}
+
+// reingest folds the checkpointed prefix [0, count) back into agg. The
+// metric columns round-trip exactly (float64 in, float64 out) and the
+// aggregation is order-invariant, so a resumed run's summary is
+// byte-identical to an uninterrupted one's.
+func reingest(path string, count int, agg *Agg) error {
+	r, err := reccache.Open(reccache.PartialPath(path))
+	if err != nil {
+		return fmt.Errorf("fleet: reopening checkpoint: %w", err)
+	}
+	defer r.Close()
+	var vec [NumMetrics]float64
+	err = r.Iter(func(i int, rec *core.WindowRecord) bool {
+		if i >= count {
+			return false
+		}
+		copy(vec[:], rec.Preds[1:])
+		agg.Ingest(int(rec.Activity), &vec)
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: replaying checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Summary is the population-level result of a fleet run. It is a pure
+// function of Config — no worker count, timing or host detail leaks in —
+// which is what the same-seed byte-identical JSON replay gate pins.
+type Summary struct {
+	Users   int             `json:"users"`
+	Days    float64         `json:"days"`
+	Seed    uint64          `json:"seed"`
+	Mix     string          `json:"mix"`
+	Windows int64           `json:"windows"`
+	Overall map[string]Dist `json:"overall"`
+	Cohorts []CohortSummary `json:"cohorts"`
+	Pareto  []ParetoPoint   `json:"pareto"`
+}
+
+// CohortSummary is one cohort's slice of the population.
+type CohortSummary struct {
+	Name       string          `json:"name"`
+	Scenario   string          `json:"scenario"`
+	Constraint string          `json:"constraint"`
+	Weight     float64         `json:"weight"`
+	Users      int64           `json:"users"`
+	Metrics    map[string]Dist `json:"metrics"`
+}
+
+// ParetoPoint is one cohort's position in the fleet-wide energy/accuracy
+// trade-off: mean daily watch energy against mean MAE, with the 5th
+// percentile battery life alongside. OnFront marks the non-dominated set.
+type ParetoPoint struct {
+	Cohort      string  `json:"cohort"`
+	EnergyDayMJ float64 `json:"energy_day_mj"`
+	MAE         float64 `json:"mae"`
+	LifeP05H    float64 `json:"life_p05_h"`
+	OnFront     bool    `json:"on_front"`
+}
+
+func distMap(m *metricAggs) map[string]Dist {
+	out := make(map[string]Dist, NumMetrics)
+	for i := range m {
+		out[metricSpecs[i].name] = m[i].Dist(&metricSpecs[i])
+	}
+	return out
+}
+
+func (f *Fleet) buildSummary(agg *Agg) *Summary {
+	cfg := f.cfg
+	s := &Summary{
+		Users: int(agg.Users()),
+		Days:  cfg.Days,
+		Seed:  cfg.Seed,
+		Mix:   cfg.Mix.String(),
+		// The windows metric has scale 1, so its tick sum is the exact
+		// fleet-wide window count.
+		Windows: agg.Overall[MetricWindows].Sum,
+		Overall: distMap(&agg.Overall),
+		Cohorts: make([]CohortSummary, 0, len(cfg.Mix)),
+	}
+	for i, c := range cfg.Mix {
+		ma := &agg.Cohorts[i]
+		s.Cohorts = append(s.Cohorts, CohortSummary{
+			Name:       c.Name(),
+			Scenario:   c.Scenario,
+			Constraint: c.ConstraintString(),
+			Weight:     c.Weight,
+			Users:      ma[MetricMeanHR].Count,
+			Metrics:    distMap(ma),
+		})
+		if ma[MetricMeanHR].Count == 0 {
+			continue
+		}
+		s.Pareto = append(s.Pareto, ParetoPoint{
+			Cohort:      c.Name(),
+			EnergyDayMJ: ma[MetricEnergyDayMJ].Mean(&metricSpecs[MetricEnergyDayMJ]),
+			MAE:         ma[MetricMAE].Mean(&metricSpecs[MetricMAE]),
+			LifeP05H:    ma[MetricLifeH].Quantile(&metricSpecs[MetricLifeH], 0.05),
+		})
+	}
+	markFront(s.Pareto)
+	return s
+}
+
+// markFront flags the non-dominated points: a point is off the front iff
+// some other point is no worse on both axes and strictly better on one.
+func markFront(pts []ParetoPoint) {
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].EnergyDayMJ <= pts[i].EnergyDayMJ && pts[j].MAE <= pts[i].MAE &&
+				(pts[j].EnergyDayMJ < pts[i].EnergyDayMJ || pts[j].MAE < pts[i].MAE) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].OnFront = !dominated
+	}
+}
