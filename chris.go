@@ -19,7 +19,12 @@
 //   - population-scale fleet simulation (SimulateFleet): thousands to
 //     millions of seed-forked synthetic users streamed into
 //     bounded-memory population aggregates with checkpoint/resume
-//     (FleetConfig, FleetSummary, ParseFleetMix; see cmd/chrisfleet).
+//     (FleetConfig, FleetSummary, ParseFleetMix; see cmd/chrisfleet),
+//   - temporal belief propagation over quantized HR bins (BeliefFilter,
+//     BeliefPolicy): an HMM whose learned transition prior smooths the
+//     per-window point estimates and whose posterior credible-interval
+//     width gates offloads through the decision engine
+//     (UncertaintyGate, Engine.DispatchGated; see examples/belief).
 //
 // See examples/quickstart for the three-call happy path: BuildPipeline →
 // Engine → Predict.
@@ -65,6 +70,7 @@
 package chris
 
 import (
+	"repro/internal/belief"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dalia"
@@ -321,6 +327,51 @@ var (
 	ParseFleetMix = fleet.ParseMix
 	// DefaultFleetMix is the reference scenario mix.
 	DefaultFleetMix = fleet.DefaultMix
+)
+
+// Belief-propagation re-exports (internal/belief: an HMM over quantized
+// HR bins — learned banded transition prior, zero-allocation online
+// sum-product forward pass, calibrated credible intervals; the posterior
+// width drives uncertainty-gated offload via Engine.DispatchGated).
+type (
+	// BeliefGrid quantizes the HR axis into uniform bins.
+	BeliefGrid = belief.Grid
+	// BeliefTable is a row-stochastic HR-transition prior over a grid.
+	BeliefTable = belief.Table
+	// BeliefFilter is the streaming forward pass (one posterior per user).
+	BeliefFilter = belief.Filter
+	// BeliefPolicy bundles a prior with observation sigmas and the gate.
+	BeliefPolicy = belief.Policy
+	// BeliefSigmaSpec maps motion intensity to an observation sigma.
+	BeliefSigmaSpec = belief.SigmaSpec
+	// BeliefLearnConfig tunes transition-prior learning.
+	BeliefLearnConfig = belief.LearnConfig
+	// Confidence carries the posterior summary the gate inspects.
+	Confidence = core.Confidence
+	// UncertaintyGate bounds the belief uncertainty under which an
+	// offload decision stands.
+	UncertaintyGate = core.UncertaintyGate
+	// FleetBeliefConfig switches the belief layer on for a whole fleet.
+	FleetBeliefConfig = fleet.BeliefConfig
+)
+
+var (
+	// NewBeliefFilter builds a streaming filter over a validated prior.
+	NewBeliefFilter = belief.NewFilter
+	// LearnBeliefTable learns the banded transition prior from windows.
+	LearnBeliefTable = belief.LearnWindows
+	// DefaultBeliefGrid is the 90-bin 30..210 BPM grid.
+	DefaultBeliefGrid = belief.DefaultGrid
+	// DefaultBeliefPolicy wraps a table with calibrated defaults.
+	DefaultBeliefPolicy = belief.DefaultPolicy
+	// SaveBeliefTable and LoadBeliefTable round-trip the binary codec.
+	SaveBeliefTable = belief.SaveTable
+	LoadBeliefTable = belief.LoadTable
+	// BeliefForwardBackward is the offline batch smoother (its filtered
+	// marginals are bitwise identical to the online forward pass).
+	BeliefForwardBackward = belief.ForwardBackward
+	// BeliefViterbi decodes the MAP bin path in the log domain.
+	BeliefViterbi = belief.Viterbi
 )
 
 var (

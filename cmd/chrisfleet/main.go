@@ -8,7 +8,8 @@
 // Usage:
 //
 //	chrisfleet [-users 1000] [-days 1] [-mix spec] [-seed 1]
-//	           [-workers 0] [-checkpoint file] [-resume] [-json] [-v]
+//	           [-workers 0] [-checkpoint file] [-resume]
+//	           [-belief] [-gate 0] [-json] [-v]
 //
 // -mix is a comma list of scenario:constraint:weight cohorts, e.g.
 // "none:mae4:0.5,commute:mj1:0.5" (mae<bpm> or mj<millijoules>); empty
@@ -43,6 +44,8 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for crash-safe progress (empty = none)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from -checkpoint")
+	useBelief := flag.Bool("belief", false, "run the per-user temporal belief filter (posterior-mean smoothing)")
+	gateBPM := flag.Float64("gate", 0, "uncertainty-gate threshold in BPM (0 = gating off; implies -belief)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of text")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
@@ -60,6 +63,9 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Mix = mix
+	}
+	if *useBelief || *gateBPM > 0 {
+		cfg.Belief = fleet.BeliefConfig{Enabled: true, Smooth: true, GateBPM: *gateBPM}
 	}
 	// Validate everything cheap before the forest trains: a typo'd mix or
 	// a resume without a checkpoint must fail in milliseconds.

@@ -8,7 +8,8 @@
 //
 //	chrisserve [-quick] [-sessions 32] [-seconds 10] [-rate 100]
 //	           [-faults commute|gym|worstcase|none] [-seed 1]
-//	           [-mae 6.0] [-virtual] [-cycles 64] [-json] [-v]
+//	           [-mae 6.0] [-virtual] [-cycles 64] [-belief] [-gate 0]
+//	           [-json] [-v]
 //
 // Two clocks, one engine:
 //
@@ -54,6 +55,8 @@ func main() {
 	energyBound := flag.Float64("energy", 0.3, "energy constraint in mJ when -mae is 0")
 	virtual := flag.Bool("virtual", false, "deterministic lockstep mode (virtual clock)")
 	cycles := flag.Int("cycles", 64, "lockstep cycles in -virtual mode")
+	useBelief := flag.Bool("belief", false, "run the per-session temporal belief filter")
+	gateBPM := flag.Float64("gate", 0, "uncertainty-gate threshold in BPM (0 = gating off; implies -belief)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
@@ -103,6 +106,17 @@ func main() {
 		Constraint: constraint,
 		Faults:     scenario,
 		FaultSeed:  uint64(*seed),
+	}
+	if *useBelief || *gateBPM > 0 {
+		if *gateBPM < 0 {
+			log.Fatalf("-gate %g is negative", *gateBPM)
+		}
+		pol, err := suite.BeliefPolicy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.GateBPM = *gateBPM
+		sCfg.Belief = pol
 	}
 
 	var rep report
@@ -167,10 +181,14 @@ func (r report) print() {
 		tot.Dropped += s.Stats.Dropped
 		tot.Retries += s.Stats.Retries
 		tot.SupervisionDrops += s.Stats.SupervisionDrops
+		tot.GatedWindows += s.Stats.GatedWindows
 	}
 	fmt.Printf("outcomes:             full %d, simple %d, fallback %d, shed %d, expired %d, late %d, dropped %d\n",
 		tot.FullRuns, tot.SimpleRuns, tot.FallbackWindows, tot.ShedWindows, tot.Expired, tot.Late, tot.Dropped)
 	fmt.Printf("offload faults:       %d retries, %d supervision drops\n", tot.Retries, tot.SupervisionDrops)
+	if tot.GatedWindows > 0 {
+		fmt.Printf("belief-gated windows: %d\n", tot.GatedWindows)
+	}
 }
 
 // runVirtual is the lockstep replay: one window per session per cycle,

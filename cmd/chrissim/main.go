@@ -8,7 +8,7 @@
 //
 //	chrissim [-quick] [-hours 24] [-mae 6.0] [-dropout 0]
 //	         [-faults commute|gym|worstcase|none] [-seed 1] [-json]
-//	         [-sensors] [-v]
+//	         [-sensors] [-belief] [-gate 0] [-v]
 //
 // -dropout N cuts the link every N simulated seconds (down for N/4).
 // -faults picks a chaos scenario (see internal/faults); -seed makes the
@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/belief"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -44,6 +45,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed (replayable, non-negative)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	sensors := flag.Bool("sensors", true, "charge the PPG/IMU front end")
+	useBelief := flag.Bool("belief", false, "run the temporal belief filter (posterior-mean smoothing)")
+	gateBPM := flag.Float64("gate", 0, "uncertainty-gate threshold in BPM (0 = gating off; implies -belief)")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
 
@@ -100,6 +103,17 @@ func main() {
 		}
 	}
 
+	var policy *belief.Policy
+	if *useBelief || *gateBPM > 0 {
+		if *gateBPM < 0 {
+			log.Fatalf("-gate %g is negative", *gateBPM)
+		}
+		if policy, err = suite.BeliefPolicy(); err != nil {
+			log.Fatal(err)
+		}
+		policy.GateBPM = *gateBPM
+	}
+
 	bat := power.NewLiIon370()
 	res, err := sim.Run(sim.Config{
 		System:          suite.Sys,
@@ -111,6 +125,7 @@ func main() {
 		Battery:         bat,
 		IncludeSensors:  *sensors,
 		Faults:          injector,
+		Belief:          policy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -146,6 +161,14 @@ func main() {
 			res.RetransmitPackets, res.RetransmitEnergy)
 		fmt.Printf("  brown-out drain:    %v\n", res.BrownOutEnergy)
 		fmt.Printf("  MAE under faults:   %.2f BPM over %d windows\n", res.FaultMAE, res.FaultWindows)
+	}
+	if policy != nil {
+		fmt.Printf("belief filter:        %d bins, 90%% CI width %.1f BPM, coverage %.1f%%\n",
+			res.BeliefBins, res.BeliefWidthMean, res.BeliefCoverage*100)
+		if policy.GateBPM > 0 {
+			fmt.Printf("  gated offloads:     %d (%.1f%%) at gate %g BPM\n",
+				res.GatedOffloads, pct(res.GatedOffloads, res.Predictions), policy.GateBPM)
+		}
 	}
 	if res.BatteryExhausted {
 		fmt.Printf("battery exhausted after %.1f h\n", res.SimulatedSeconds/3600)

@@ -1,0 +1,87 @@
+package belief
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+)
+
+// FuzzTransitionPrior throws arbitrary bytes at the table codec. The
+// contract under fuzz: ParseTable never panics; whatever it accepts is a
+// fully valid row-stochastic banded-or-dense prior (Validate passes, a
+// filter can be built on it) and re-encodes to the exact input bytes, so
+// a parse/encode cycle can never launder a hostile table into the cache.
+func FuzzTransitionPrior(f *testing.F) {
+	// Seeds: a learned prior over a synthetic HR walk (cheap to build —
+	// fuzz workers re-run this setup), a minimal hand-built 2-bin table,
+	// and near-miss corruptions of each rejection class.
+	walk := make([]dalia.Window, 200)
+	for i := range walk {
+		walk[i] = dalia.Window{Subject: 0, TrueHR: 80 + 40*math.Sin(float64(i)/9)}
+	}
+	tab, err := LearnWindows(DefaultGrid(), walk, DefaultLearnConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	learned, err := EncodeTable(tab)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tiny, err := EncodeTable(&Table{
+		Grid: Grid{Bins: 2, MinHR: 30, BinW: 2},
+		P:    []float64{0.75, 0.25, 0.5, 0.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(learned)
+	f.Add(tiny)
+	f.Add([]byte(nil))
+	f.Add([]byte(tableMagic))
+	f.Add(tiny[:len(tiny)-1])
+	badMagic := append([]byte(nil), tiny...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	badRes := append([]byte(nil), tiny...)
+	badRes[12] = 1
+	f.Add(badRes)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ParseTable(data)
+		if err != nil {
+			return // rejected input: nothing else to hold
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("accepted table fails Validate: %v", err)
+		}
+		if tab.Grid.Bins < 2 || tab.Grid.Bins > maxBins {
+			t.Fatalf("accepted geometry %d bins", tab.Grid.Bins)
+		}
+		re, err := EncodeTable(tab)
+		if err != nil {
+			t.Fatalf("accepted table fails re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip not byte-identical: %d in, %d out", len(data), len(re))
+		}
+		// An accepted prior must be directly usable: build a filter and
+		// run one full update without the posterior leaving the simplex.
+		fl, err := NewFilter(tab)
+		if err != nil {
+			t.Fatalf("accepted table rejected by NewFilter: %v", err)
+		}
+		fl.ObserveGaussian(100, 5)
+		sum := 0.0
+		for _, p := range fl.post {
+			if math.IsNaN(p) || p < 0 {
+				t.Fatalf("posterior left the simplex: %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior sums to %v on fuzzed prior", sum)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package belief
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxBins bounds the grid so a hostile codec input cannot request a
+// gigabyte table: 1024 bins at 8 bytes per cell is an 8 MiB table, far
+// past any sensible HR quantization.
+const maxBins = 1024
+
+// Grid quantizes the heart-rate axis into uniform bins. Bin i covers
+// [MinHR + i·BinW, MinHR + (i+1)·BinW); Center(i) is its midpoint.
+type Grid struct {
+	Bins  int     // number of states
+	MinHR float64 // lower edge of bin 0, BPM
+	BinW  float64 // bin width, BPM
+}
+
+// DefaultGrid covers 30–210 BPM in 2-BPM bins (90 states) — the
+// models.ClampHR range plus headroom, matching the BeliefPPG-style prior
+// resolution.
+func DefaultGrid() Grid { return Grid{Bins: 90, MinHR: 30, BinW: 2} }
+
+// Validate rejects degenerate or hostile geometries.
+func (g Grid) Validate() error {
+	switch {
+	case g.Bins < 2 || g.Bins > maxBins:
+		return fmt.Errorf("belief: Bins %d outside [2, %d]", g.Bins, maxBins)
+	case math.IsNaN(g.MinHR) || math.IsInf(g.MinHR, 0) || g.MinHR < 0 || g.MinHR > 300:
+		return fmt.Errorf("belief: MinHR %v outside [0, 300] BPM", g.MinHR)
+	case math.IsNaN(g.BinW) || math.IsInf(g.BinW, 0) || g.BinW <= 0 || g.BinW > 100:
+		return fmt.Errorf("belief: BinW %v outside (0, 100] BPM", g.BinW)
+	case g.MaxHR() > 1000:
+		return fmt.Errorf("belief: grid top %v exceeds 1000 BPM", g.MaxHR())
+	}
+	return nil
+}
+
+// MaxHR is the upper edge of the last bin.
+func (g Grid) MaxHR() float64 { return g.MinHR + float64(g.Bins)*g.BinW }
+
+// Center returns bin i's midpoint in BPM.
+func (g Grid) Center(i int) float64 { return g.MinHR + (float64(i)+0.5)*g.BinW }
+
+// Bin maps an HR to its bin index, clamping out-of-range (and non-finite)
+// values to the edge bins. The NaN branch is explicit because a float→int
+// conversion of NaN is not portable.
+func (g Grid) Bin(hr float64) int {
+	if !(hr > g.MinHR) { // NaN and below-range both land here
+		return 0
+	}
+	if hr >= g.MaxHR() {
+		return g.Bins - 1
+	}
+	i := int((hr - g.MinHR) / g.BinW)
+	if i >= g.Bins { // guard the exact-top rounding edge
+		i = g.Bins - 1
+	}
+	return i
+}

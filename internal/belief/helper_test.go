@@ -1,0 +1,38 @@
+package belief
+
+import (
+	"testing"
+
+	"repro/internal/dalia"
+)
+
+// trainWindows generates a small deterministic synthetic cohort — the
+// same generator the pipeline trains on, scaled down.
+func trainWindows(t testing.TB, subjects int, scale float64) []dalia.Window {
+	t.Helper()
+	c := dalia.DefaultConfig()
+	c.Subjects = subjects
+	c.DurationScale = scale
+	var ws []dalia.Window
+	for s := 0; s < subjects; s++ {
+		rec, err := dalia.GenerateSubject(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, dalia.Windows(rec, c.WindowSamples, c.StrideSamples)...)
+	}
+	if len(ws) < 16 {
+		t.Fatalf("only %d training windows generated", len(ws))
+	}
+	return ws
+}
+
+// learnedTable is the banded prior every filter test runs against.
+func learnedTable(t testing.TB) *Table {
+	t.Helper()
+	tab, err := LearnWindows(DefaultGrid(), trainWindows(t, 2, 0.02), DefaultLearnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}

@@ -1,0 +1,90 @@
+package belief
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dalia"
+)
+
+// LearnConfig controls transition-prior estimation.
+type LearnConfig struct {
+	// Smoothing is the Laplace pseudo-count added to every transition
+	// inside the band. Must be > 0 so no in-band transition has exactly
+	// zero probability.
+	Smoothing float64
+	// BandBPM is the minimum half-width, in BPM, of the transition band
+	// around the diagonal. The learned band is the wider of this and the
+	// largest jump observed in training, so no training transition is
+	// ever assigned probability zero.
+	BandBPM float64
+}
+
+// DefaultLearnConfig: half a pseudo-count (Jeffreys-style) within a
+// ±16 BPM band — HR moves a few BPM between consecutive 2-second windows,
+// and 16 BPM covers even sprint-onset transients.
+func DefaultLearnConfig() LearnConfig { return LearnConfig{Smoothing: 0.5, BandBPM: 16} }
+
+// LearnWindows estimates a banded row-stochastic transition prior from
+// the TrueHR track of training windows. Transitions are counted between
+// consecutive windows of the same subject (subject boundaries do not
+// contribute); Laplace smoothing is applied only within the band, so
+// entries outside it are exactly zero and the filter's banded contraction
+// stays bitwise equal to the dense product.
+func LearnWindows(g Grid, ws []dalia.Window, lc LearnConfig) (*Table, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("belief: no training windows")
+	}
+	if math.IsNaN(lc.Smoothing) || math.IsInf(lc.Smoothing, 0) || lc.Smoothing <= 0 {
+		return nil, fmt.Errorf("belief: Smoothing %v must be a positive finite pseudo-count", lc.Smoothing)
+	}
+	if math.IsNaN(lc.BandBPM) || math.IsInf(lc.BandBPM, 0) || lc.BandBPM < 0 {
+		return nil, fmt.Errorf("belief: BandBPM %v must be finite and non-negative", lc.BandBPM)
+	}
+	k := g.Bins
+	counts := make([]float64, k*k)
+	band := int(math.Ceil(lc.BandBPM / g.BinW))
+	for wi := 1; wi < len(ws); wi++ {
+		prev, cur := &ws[wi-1], &ws[wi]
+		if prev.Subject != cur.Subject {
+			continue
+		}
+		i, j := g.Bin(prev.TrueHR), g.Bin(cur.TrueHR)
+		counts[i*k+j]++
+		if d := j - i; d > band {
+			band = d
+		} else if -d > band {
+			band = -d
+		}
+	}
+	t := &Table{Grid: g, P: make([]float64, k*k)}
+	for i := 0; i < k; i++ {
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			d := j - i
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				sum += counts[i*k+j] + lc.Smoothing
+			}
+		}
+		inv := 1 / sum // band ≥ 0 ⇒ at least the diagonal pseudo-count ⇒ sum > 0
+		for j := 0; j < k; j++ {
+			d := j - i
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				t.P[i*k+j] = (counts[i*k+j] + lc.Smoothing) * inv
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

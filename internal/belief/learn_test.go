@@ -1,0 +1,159 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalia"
+)
+
+func TestLearnWindowsRowStochasticAndBanded(t *testing.T) {
+	g := DefaultGrid()
+	lc := DefaultLearnConfig()
+	ws := trainWindows(t, 2, 0.02)
+	tab, err := LearnWindows(g, ws, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := g.Bins
+	minBand := int(math.Ceil(lc.BandBPM / g.BinW))
+	zeros := 0
+	for i := 0; i < k; i++ {
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			v := tab.P[i*k+j]
+			sum += v
+			d := j - i
+			if d < 0 {
+				d = -d
+			}
+			if d <= minBand && v == 0 {
+				t.Fatalf("in-band cell (%d,%d) is exactly zero despite smoothing", i, j)
+			}
+			if v == 0 {
+				zeros++
+			}
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// The learned prior must actually be banded — that is what makes the
+	// span contraction worth having and keeps the fleet CI gate cheap.
+	if zeros < k*k/3 {
+		t.Errorf("only %d/%d zero cells; prior is nearly dense", zeros, k*k)
+	}
+}
+
+func TestLearnWindowsCoversObservedJumps(t *testing.T) {
+	// A training pair with a jump far past BandBPM must widen the band so
+	// the observed transition never gets probability zero.
+	g := Grid{Bins: 20, MinHR: 40, BinW: 5}
+	ws := []dalia.Window{
+		{Subject: 0, TrueHR: 50},
+		{Subject: 0, TrueHR: 130}, // +80 BPM, 16 bins
+		{Subject: 0, TrueHR: 131},
+	}
+	tab, err := LearnWindows(g, ws, LearnConfig{Smoothing: 0.5, BandBPM: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j := g.Bin(50), g.Bin(130)
+	if tab.P[i*g.Bins+j] == 0 {
+		t.Error("observed jump assigned zero probability")
+	}
+}
+
+func TestLearnWindowsSubjectBoundaries(t *testing.T) {
+	// Two one-window subjects contribute no transition: the table is pure
+	// smoothing, i.e. uniform within the band.
+	g := Grid{Bins: 10, MinHR: 50, BinW: 10}
+	ws := []dalia.Window{
+		{Subject: 0, TrueHR: 55},
+		{Subject: 1, TrueHR: 145},
+	}
+	tab, err := LearnWindows(g, ws, LearnConfig{Smoothing: 1, BandBPM: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 has bins {0, 1} in band; both must be equal (no counts).
+	if tab.P[0] != tab.P[1] {
+		t.Errorf("subject boundary leaked a transition count: P[0][0]=%v P[0][1]=%v", tab.P[0], tab.P[1])
+	}
+}
+
+func TestLearnWindowsValidation(t *testing.T) {
+	g := DefaultGrid()
+	ws := trainWindows(t, 1, 0.01)
+	cases := map[string]func() error{
+		"no windows": func() error {
+			_, err := LearnWindows(g, nil, DefaultLearnConfig())
+			return err
+		},
+		"zero smoothing": func() error {
+			_, err := LearnWindows(g, ws, LearnConfig{Smoothing: 0, BandBPM: 16})
+			return err
+		},
+		"nan smoothing": func() error {
+			_, err := LearnWindows(g, ws, LearnConfig{Smoothing: math.NaN(), BandBPM: 16})
+			return err
+		},
+		"negative band": func() error {
+			_, err := LearnWindows(g, ws, LearnConfig{Smoothing: 0.5, BandBPM: -1})
+			return err
+		},
+		"bad grid": func() error {
+			_, err := LearnWindows(Grid{Bins: 1, MinHR: 30, BinW: 2}, ws, DefaultLearnConfig())
+			return err
+		},
+	}
+	for name, run := range cases {
+		if run() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGridBinAndValidate(t *testing.T) {
+	g := DefaultGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		hr   float64
+		want int
+	}{
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{0, 0},
+		{30, 0},
+		{31.9, 0},
+		{32, 1},
+		{120, 45},
+		{209.9, 89},
+		{210, 89},
+		{math.Inf(1), 89},
+	}
+	for _, c := range cases {
+		if got := g.Bin(c.hr); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.hr, got, c.want)
+		}
+	}
+	for i := 0; i < g.Bins; i++ {
+		if got := g.Bin(g.Center(i)); got != i {
+			t.Errorf("Bin(Center(%d)) = %d", i, got)
+		}
+	}
+	for name, bad := range map[string]Grid{
+		"one bin":    {Bins: 1, MinHR: 30, BinW: 2},
+		"huge bins":  {Bins: maxBins + 1, MinHR: 30, BinW: 2},
+		"nan min":    {Bins: 90, MinHR: math.NaN(), BinW: 2},
+		"neg min":    {Bins: 90, MinHR: -1, BinW: 2},
+		"zero width": {Bins: 90, MinHR: 30, BinW: 0},
+		"tall top":   {Bins: 1000, MinHR: 30, BinW: 2},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("%s grid accepted", name)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package belief
+
+import (
+	"fmt"
+	"math"
+)
+
+// ForwardBackward runs batch filtering and smoothing over a likelihood
+// sequence. The forward pass is the same Filter.Observe code the
+// streaming path runs, so filtered[t] is bitwise identical to the online
+// posterior after observing likes[0..t] — the equivalence the tests pin.
+// smoothed[t] additionally conditions on the future via the backward
+// recursion; where the backward mass degenerates, smoothing falls back to
+// the filtered marginal.
+func ForwardBackward(t *Table, likes [][]float64) (filtered, smoothed [][]float64, err error) {
+	f, err := NewFilter(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := t.Grid.Bins
+	n := len(likes)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("belief: empty likelihood sequence")
+	}
+	filtered = make([][]float64, n)
+	for ti := 0; ti < n; ti++ {
+		f.Observe(likes[ti])
+		filtered[ti] = f.Posterior(nil)
+	}
+
+	// Backward: beta[n-1] = 1; beta[t][i] = Σ_j P[i][j]·like[t+1][j]·beta[t+1][j],
+	// normalized each step for numerical range only (smoothing renormalizes).
+	beta := make([]float64, k)
+	next := make([]float64, k)
+	for i := range beta {
+		beta[i] = 1
+	}
+	smoothed = make([][]float64, n)
+	for ti := n - 1; ti >= 0; ti-- {
+		s := make([]float64, k)
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			v := filtered[ti][i] * beta[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				sum = 0
+				break
+			}
+			s[i] = v
+			sum += v
+		}
+		if sum > 0 && !math.IsInf(sum, 0) {
+			inv := 1 / sum
+			for i := range s {
+				s[i] *= inv
+			}
+		} else {
+			copy(s, filtered[ti])
+		}
+		smoothed[ti] = s
+		if ti == 0 {
+			break
+		}
+		lk := likes[ti]
+		wellFormed := len(lk) == k
+		if wellFormed {
+			for _, v := range lk {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					wellFormed = false
+					break
+				}
+			}
+		}
+		bsum := 0.0
+		for i := 0; i < k; i++ {
+			acc := 0.0
+			if wellFormed {
+				for j := 0; j < k; j++ {
+					acc += t.P[i*k+j] * lk[j] * beta[j]
+				}
+			} else {
+				// A rejected observation contributed nothing to the
+				// forward pass either; propagate beta through the
+				// transitions alone.
+				for j := 0; j < k; j++ {
+					acc += t.P[i*k+j] * beta[j]
+				}
+			}
+			next[i] = acc
+			bsum += acc
+		}
+		if bsum > 0 && !math.IsNaN(bsum) && !math.IsInf(bsum, 0) {
+			inv := 1 / bsum
+			for i := range next {
+				next[i] *= inv
+			}
+		} else {
+			for i := range next {
+				next[i] = 1
+			}
+		}
+		beta, next = next, beta
+	}
+	return filtered, smoothed, nil
+}
+
+// Viterbi returns the maximum-a-posteriori HR path (bin centers, in BPM)
+// for a likelihood sequence, computed in log domain with the same uniform
+// initial belief as the filter. Zero-probability transitions and
+// likelihoods become -Inf log weights, which the DP handles naturally;
+// ties break toward the lower bin index for determinism.
+func Viterbi(t *Table, likes [][]float64) ([]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	k := t.Grid.Bins
+	n := len(likes)
+	if n == 0 {
+		return nil, fmt.Errorf("belief: empty likelihood sequence")
+	}
+	logP := make([]float64, k*k)
+	for i, v := range t.P {
+		logP[i] = math.Log(v)
+	}
+	logLike := func(lk []float64, j int) float64 {
+		if len(lk) != k {
+			return 0 // rejected observation: uninformative
+		}
+		v := lk[j]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0
+		}
+		return math.Log(v)
+	}
+
+	score := make([]float64, k)
+	nextScore := make([]float64, k)
+	back := make([][]int, n)
+	// Initial step: uniform prior rolled through one transition, like
+	// Filter.Predict from Reset. The uniform log term is a constant and
+	// drops out of the argmax.
+	for j := 0; j < k; j++ {
+		best := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			if s := logP[i*k+j]; s > best {
+				best = s
+			}
+		}
+		score[j] = best + logLike(likes[0], j)
+	}
+	for ti := 1; ti < n; ti++ {
+		bk := make([]int, k)
+		for j := 0; j < k; j++ {
+			best, bi := math.Inf(-1), 0
+			for i := 0; i < k; i++ {
+				if s := score[i] + logP[i*k+j]; s > best {
+					best, bi = s, i
+				}
+			}
+			nextScore[j] = best + logLike(likes[ti], j)
+			bk[j] = bi
+		}
+		back[ti] = bk
+		score, nextScore = nextScore, score
+	}
+	bestJ := 0
+	for j := 1; j < k; j++ {
+		if score[j] > score[bestJ] {
+			bestJ = j
+		}
+	}
+	path := make([]float64, n)
+	for ti := n - 1; ti >= 0; ti-- {
+		path[ti] = t.Grid.Center(bestJ)
+		if ti > 0 {
+			bestJ = back[ti][bestJ]
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,152 @@
+package belief
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussianLikes builds the likelihood sequence for a noisy HR track, the
+// same discretization ObserveGaussian performs.
+func gaussianLikes(g Grid, hrs []float64, sigma float64) [][]float64 {
+	likes := make([][]float64, len(hrs))
+	for t, hr := range hrs {
+		l := make([]float64, g.Bins)
+		for i := range l {
+			z := (g.Center(i) - hr) / sigma
+			l[i] = math.Exp(-0.5 * z * z)
+		}
+		likes[t] = l
+	}
+	return likes
+}
+
+func hrTrack(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hrs := make([]float64, n)
+	hr := 75.0
+	for i := range hrs {
+		hr += rng.NormFloat64() * 2
+		if hr < 50 {
+			hr = 50
+		}
+		if hr > 180 {
+			hr = 180
+		}
+		hrs[i] = hr
+	}
+	return hrs
+}
+
+// TestOnlineForwardEqualsBatchFiltering: the streaming filter's posterior
+// after each window must be bitwise identical to the batch
+// forward-backward pass's filtered marginal at that index — the online
+// path is the batch forward pass, not an approximation of it.
+func TestOnlineForwardEqualsBatchFiltering(t *testing.T) {
+	tab := learnedTable(t)
+	likes := gaussianLikes(tab.Grid, hrTrack(120, 3), 5)
+	// Poison a few steps so the degrade path is covered by the
+	// equivalence too.
+	likes[17] = make([]float64, tab.Grid.Bins)
+	likes[53][4] = math.NaN()
+	likes[90] = nil
+
+	filtered, smoothed, err := ForwardBackward(tab, likes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, like := range likes {
+		f.Observe(like)
+		online := f.Posterior(nil)
+		for i := range online {
+			if online[i] != filtered[ti][i] {
+				t.Fatalf("window %d: online post[%d] = %b, batch filtered = %b",
+					ti, i, online[i], filtered[ti][i])
+			}
+		}
+	}
+	// Smoothed marginals are a different estimator but share the
+	// normalization invariant.
+	for ti := range smoothed {
+		sum := 0.0
+		for _, p := range smoothed[ti] {
+			if math.IsNaN(p) || p < 0 {
+				t.Fatalf("smoothed[%d] has invalid mass", ti)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("smoothed[%d] sums to %v", ti, sum)
+		}
+	}
+}
+
+// TestSmoothingNoWorseThanFiltering: on a clean track, the smoothed mean
+// track must be at least as accurate as the filtered one — backward
+// evidence only helps.
+func TestSmoothingNoWorseThanFiltering(t *testing.T) {
+	tab := learnedTable(t)
+	hrs := hrTrack(200, 9)
+	likes := gaussianLikes(tab.Grid, hrs, 8)
+	filtered, smoothed, err := ForwardBackward(tab, likes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := func(dists [][]float64) float64 {
+		s := 0.0
+		for ti, d := range dists {
+			m := 0.0
+			for i, p := range d {
+				m += p * tab.Grid.Center(i)
+			}
+			s += math.Abs(m - hrs[ti])
+		}
+		return s / float64(len(dists))
+	}
+	fm, sm := mae(filtered), mae(smoothed)
+	if sm > fm*1.05 {
+		t.Errorf("smoothing hurt accuracy: filtered MAE %v, smoothed %v", fm, sm)
+	}
+}
+
+func TestViterbiTracksTruth(t *testing.T) {
+	tab := learnedTable(t)
+	hrs := hrTrack(150, 21)
+	likes := gaussianLikes(tab.Grid, hrs, 4)
+	path, err := Viterbi(tab, likes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != len(hrs) {
+		t.Fatalf("path length %d, want %d", len(path), len(hrs))
+	}
+	s := 0.0
+	for ti := range path {
+		s += math.Abs(path[ti] - hrs[ti])
+	}
+	if mae := s / float64(len(path)); mae > 2*tab.Grid.BinW+4 {
+		t.Errorf("Viterbi MAE %v BPM too high for sigma-4 observations", mae)
+	}
+}
+
+func TestOfflineValidation(t *testing.T) {
+	tab := learnedTable(t)
+	if _, _, err := ForwardBackward(tab, nil); err == nil {
+		t.Error("empty sequence accepted by ForwardBackward")
+	}
+	if _, err := Viterbi(tab, nil); err == nil {
+		t.Error("empty sequence accepted by Viterbi")
+	}
+	bad := &Table{Grid: tab.Grid, P: make([]float64, 4)}
+	likes := gaussianLikes(tab.Grid, []float64{80}, 4)
+	if _, _, err := ForwardBackward(bad, likes); err == nil {
+		t.Error("invalid table accepted by ForwardBackward")
+	}
+	if _, err := Viterbi(bad, likes); err == nil {
+		t.Error("invalid table accepted by Viterbi")
+	}
+}

@@ -1,0 +1,108 @@
+package belief
+
+import (
+	"fmt"
+	"math"
+)
+
+// SigmaSpec is the motion-scaled observation noise model for one
+// estimator: σ(rms) = Base + Motion·rms BPM. Base is the model's
+// still-wrist error; Motion scales with the detrended accelerometer RMS,
+// mirroring how every model in the zoo degrades under wrist motion.
+type SigmaSpec struct {
+	Base   float64
+	Motion float64
+}
+
+// Policy bundles everything the sim/serve/fleet layers need to run the
+// belief filter: the learned transition prior, whether the posterior mean
+// replaces the point estimate, the uncertainty gate threshold, the
+// credible mass, and the per-model noise specs.
+type Policy struct {
+	Table *Table
+	// Smooth replaces each window's point estimate with the posterior
+	// mean. False runs the filter in observer mode: confidence and
+	// coverage are tracked but reported HR is untouched.
+	Smooth bool
+	// GateBPM enables uncertainty-gated offload when > 0: an offload
+	// decision is demoted to the simple local model whenever the
+	// predictive credible interval is narrower than GateBPM BPM.
+	GateBPM float64
+	// Mass is the credible mass for intervals (default policy: 0.9).
+	Mass float64
+	// Sigmas maps model names to noise specs; unknown names fall back to
+	// DefaultSigma.
+	Sigmas       map[string]SigmaSpec
+	DefaultSigma SigmaSpec
+}
+
+// Validate rejects unusable policies.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return fmt.Errorf("belief: nil policy")
+	}
+	if err := p.Table.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(p.GateBPM) || math.IsInf(p.GateBPM, 0) || p.GateBPM < 0 {
+		return fmt.Errorf("belief: GateBPM %v must be finite and non-negative", p.GateBPM)
+	}
+	if math.IsNaN(p.Mass) || p.Mass <= 0 || p.Mass >= 1 {
+		return fmt.Errorf("belief: Mass %v outside (0, 1)", p.Mass)
+	}
+	check := func(name string, s SigmaSpec) error {
+		if math.IsNaN(s.Base) || math.IsInf(s.Base, 0) || s.Base <= 0 {
+			return fmt.Errorf("belief: sigma Base %v for %q must be a positive finite BPM", s.Base, name)
+		}
+		if math.IsNaN(s.Motion) || math.IsInf(s.Motion, 0) || s.Motion < 0 {
+			return fmt.Errorf("belief: sigma Motion %v for %q must be finite and non-negative", s.Motion, name)
+		}
+		return nil
+	}
+	if err := check("default", p.DefaultSigma); err != nil {
+		return err
+	}
+	for name, s := range p.Sigmas {
+		if err := check(name, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sigma returns the observation σ for a model at a given motion RMS.
+func (p *Policy) Sigma(model string, motionRMS float64) float64 {
+	s, ok := p.Sigmas[model]
+	if !ok {
+		s = p.DefaultSigma
+	}
+	if math.IsNaN(motionRMS) || math.IsInf(motionRMS, 0) || motionRMS < 0 {
+		motionRMS = 0
+	}
+	return s.Base + s.Motion*motionRMS
+}
+
+// DefaultSigmas mirrors the fleet model zoo's error parameters
+// (fleet.DefaultModels BaseErr/MotionErr): the noise the simulator
+// injects is the noise the filter assumes.
+func DefaultSigmas() map[string]SigmaSpec {
+	return map[string]SigmaSpec{
+		"AT":            {Base: 4.0, Motion: 14.0},
+		"TimePPG-Small": {Base: 2.5, Motion: 6.0},
+		"TimePPG-Big":   {Base: 1.8, Motion: 3.5},
+	}
+}
+
+// DefaultPolicy wraps a learned table with the stock settings: smoothing
+// on, gating off (opt-in via GateBPM), 90% credible intervals, zoo noise
+// specs with a mid-range fallback.
+func DefaultPolicy(t *Table) *Policy {
+	return &Policy{
+		Table:        t,
+		Smooth:       true,
+		GateBPM:      0,
+		Mass:         0.9,
+		Sigmas:       DefaultSigmas(),
+		DefaultSigma: SigmaSpec{Base: 3, Motion: 8},
+	}
+}

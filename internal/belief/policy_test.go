@@ -1,0 +1,58 @@
+package belief
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	tab := learnedTable(t)
+	good := DefaultPolicy(tab)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilPol *Policy
+	if err := nilPol.Validate(); err == nil {
+		t.Error("nil policy accepted")
+	}
+	mutate := func(f func(*Policy)) *Policy {
+		p := DefaultPolicy(tab)
+		f(p)
+		return p
+	}
+	bad := map[string]*Policy{
+		"nil table":     mutate(func(p *Policy) { p.Table = nil }),
+		"negative gate": mutate(func(p *Policy) { p.GateBPM = -1 }),
+		"nan gate":      mutate(func(p *Policy) { p.GateBPM = math.NaN() }),
+		"zero mass":     mutate(func(p *Policy) { p.Mass = 0 }),
+		"full mass":     mutate(func(p *Policy) { p.Mass = 1 }),
+		"zero sigma":    mutate(func(p *Policy) { p.DefaultSigma.Base = 0 }),
+		"neg motion":    mutate(func(p *Policy) { p.Sigmas["AT"] = SigmaSpec{Base: 4, Motion: -1} }),
+	}
+	for name, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestPolicySigma(t *testing.T) {
+	tab := learnedTable(t)
+	p := DefaultPolicy(tab)
+	at := p.Sigmas["AT"]
+	if got := p.Sigma("AT", 0); got != at.Base {
+		t.Errorf("Sigma(AT, 0) = %v, want Base %v", got, at.Base)
+	}
+	if got := p.Sigma("AT", 2); got != at.Base+2*at.Motion {
+		t.Errorf("Sigma(AT, 2) = %v", got)
+	}
+	if got := p.Sigma("no-such-model", 1); got != p.DefaultSigma.Base+p.DefaultSigma.Motion {
+		t.Errorf("unknown model sigma = %v, want default", got)
+	}
+	// Hostile motion values clamp to still-wrist.
+	for _, rms := range []float64{math.NaN(), math.Inf(1), -5} {
+		if got := p.Sigma("AT", rms); got != at.Base {
+			t.Errorf("Sigma(AT, %v) = %v, want Base", rms, got)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package belief
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Table is a row-stochastic HR-transition prior over a Grid: P[i*Bins+j]
+// is the probability of moving from bin i to bin j between consecutive
+// windows. Rows sum to 1 within rowSumTol.
+type Table struct {
+	Grid Grid
+	P    []float64 // row-major Bins×Bins
+}
+
+// rowSumTol bounds how far a row sum may drift from 1. Normalizing a
+// 90-entry row accumulates at most a few hundred ulps (~1e-13); anything
+// past 1e-9 is a malformed table, not rounding.
+const rowSumTol = 1e-9
+
+// Validate checks the table's invariants: a valid grid, exact geometry,
+// finite non-negative entries, and row sums within rowSumTol of 1.
+func (t *Table) Validate() error {
+	if t == nil {
+		return fmt.Errorf("belief: nil table")
+	}
+	if err := t.Grid.Validate(); err != nil {
+		return err
+	}
+	k := t.Grid.Bins
+	if len(t.P) != k*k {
+		return fmt.Errorf("belief: table has %d cells, want %d×%d", len(t.P), k, k)
+	}
+	for i := 0; i < k; i++ {
+		sum := 0.0
+		row := t.P[i*k : (i+1)*k]
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("belief: P[%d][%d] = %v is not a probability", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return fmt.Errorf("belief: row %d sums to %v, want 1 ± %g", i, sum, rowSumTol)
+		}
+	}
+	return nil
+}
+
+// The binary codec: a fixed little-endian layout so an accepted byte
+// stream re-encodes to the identical bytes (the FuzzTransitionPrior
+// round-trip invariant). Layout:
+//
+//	offset 0  magic "CHBP"
+//	offset 4  uint32 version (1)
+//	offset 8  uint32 bins
+//	offset 12 uint32 reserved (must be 0)
+//	offset 16 float64 minHR
+//	offset 24 float64 binW
+//	offset 32 bins×bins float64 probabilities, row-major
+const (
+	tableMagic   = "CHBP"
+	tableVersion = 1
+	tableHeader  = 32
+)
+
+// EncodeTable serializes the table. The output is a pure function of the
+// table's float bits.
+func EncodeTable(t *Table) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	k := t.Grid.Bins
+	out := make([]byte, tableHeader+8*k*k)
+	copy(out, tableMagic)
+	binary.LittleEndian.PutUint32(out[4:], tableVersion)
+	binary.LittleEndian.PutUint32(out[8:], uint32(k))
+	binary.LittleEndian.PutUint32(out[12:], 0)
+	binary.LittleEndian.PutUint64(out[16:], math.Float64bits(t.Grid.MinHR))
+	binary.LittleEndian.PutUint64(out[24:], math.Float64bits(t.Grid.BinW))
+	for i, v := range t.P {
+		binary.LittleEndian.PutUint64(out[tableHeader+8*i:], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// ParseTable decodes and validates an encoded transition prior. It
+// rejects wrong magic/version, wrong geometry (including trailing bytes),
+// non-finite or negative entries, and non-row-stochastic tables. Accepted
+// input re-encodes byte-identically.
+func ParseTable(data []byte) (*Table, error) {
+	if len(data) < tableHeader {
+		return nil, fmt.Errorf("belief: table truncated at %d bytes (header is %d)", len(data), tableHeader)
+	}
+	if string(data[:4]) != tableMagic {
+		return nil, fmt.Errorf("belief: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != tableVersion {
+		return nil, fmt.Errorf("belief: unsupported table version %d", v)
+	}
+	bins := binary.LittleEndian.Uint32(data[8:])
+	if bins < 2 || bins > maxBins {
+		return nil, fmt.Errorf("belief: bins %d outside [2, %d]", bins, maxBins)
+	}
+	if r := binary.LittleEndian.Uint32(data[12:]); r != 0 {
+		return nil, fmt.Errorf("belief: reserved header field is %d, want 0", r)
+	}
+	k := int(bins)
+	want := tableHeader + 8*k*k
+	if len(data) != want {
+		return nil, fmt.Errorf("belief: %d-bin table needs exactly %d bytes, got %d", k, want, len(data))
+	}
+	t := &Table{
+		Grid: Grid{
+			Bins:  k,
+			MinHR: math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+			BinW:  math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		},
+		P: make([]float64, k*k),
+	}
+	for i := range t.P {
+		t.P[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[tableHeader+8*i:]))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveTable writes the encoded table to path.
+func SaveTable(t *Table, path string) error {
+	data, err := EncodeTable(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTable reads and validates an encoded table from path.
+func LoadTable(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTable(data)
+}

@@ -1,0 +1,132 @@
+package belief
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	tab := learnedTable(t)
+	data, err := EncodeTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != tab.Grid {
+		t.Fatalf("grid changed: %+v -> %+v", tab.Grid, got.Grid)
+	}
+	for i := range tab.P {
+		if got.P[i] != tab.P[i] {
+			t.Fatalf("cell %d changed: %b -> %b", i, tab.P[i], got.P[i])
+		}
+	}
+	// Re-encoding an accepted table must reproduce the input bytes.
+	re, err := EncodeTable(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestTableSaveLoad(t *testing.T) {
+	tab := learnedTable(t)
+	path := filepath.Join(t.TempDir(), "prior.chbp")
+	if err := SaveTable(tab, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.P {
+		if got.P[i] != tab.P[i] {
+			t.Fatalf("cell %d changed across disk round-trip", i)
+		}
+	}
+	if _, err := LoadTable(filepath.Join(t.TempDir(), "missing.chbp")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestParseTableRejectsHostileBytes(t *testing.T) {
+	valid, err := EncodeTable(learnedTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short-header":   valid[:tableHeader-1],
+		"truncated-body": valid[:len(valid)-8],
+		"oversized":      append(append([]byte(nil), valid...), 0),
+		"bad-magic":      mut(func(b []byte) { b[0] = 'X' }),
+		"bad-version":    mut(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }),
+		"zero-bins":      mut(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) }),
+		"huge-bins":      mut(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], maxBins+1) }),
+		"reserved-set":   mut(func(b []byte) { b[12] = 1 }),
+		"nan-cell": mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[tableHeader:], math.Float64bits(math.NaN()))
+		}),
+		"non-stochastic-row": mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[tableHeader:], math.Float64bits(0.999))
+		}),
+		"bad-geometry": mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[16:], math.Float64bits(-5)) // MinHR < 0
+		}),
+	}
+	for name, data := range cases {
+		if _, err := ParseTable(data); err == nil {
+			t.Errorf("%s: hostile input accepted", name)
+		}
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tab := learnedTable(t)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilTab *Table
+	if err := nilTab.Validate(); err == nil {
+		t.Error("nil table accepted")
+	}
+	short := &Table{Grid: tab.Grid, P: tab.P[:len(tab.P)-1]}
+	if err := short.Validate(); err == nil {
+		t.Error("wrong-length P accepted")
+	}
+	broken := &Table{Grid: tab.Grid, P: append([]float64(nil), tab.P...)}
+	broken.P[0] += 0.5
+	if err := broken.Validate(); err == nil {
+		t.Error("non-row-stochastic table accepted")
+	}
+	neg := &Table{Grid: tab.Grid, P: append([]float64(nil), tab.P...)}
+	neg.P[1] = -neg.P[1]
+	if err := neg.Validate(); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestSaveTableRefusesInvalid(t *testing.T) {
+	tab := learnedTable(t)
+	bad := &Table{Grid: tab.Grid, P: make([]float64, tab.Grid.Bins*tab.Grid.Bins)}
+	path := filepath.Join(t.TempDir(), "bad.chbp")
+	if err := SaveTable(bad, path); err == nil {
+		t.Fatal("all-zero table saved")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("refused save left a file behind")
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/dalia"
+)
+
+// beliefKernelTable learns a realistic banded transition prior from a
+// small synthetic DaLiA split — the same learning path production uses,
+// so the benchmarked band width is the one real runs see.
+func beliefKernelTable() *belief.Table {
+	dc := dalia.DefaultConfig()
+	dc.Seed = 11
+	dc.Subjects = 2
+	dc.DurationScale = 0.02
+	var ws []dalia.Window
+	for s := 0; s < dc.Subjects; s++ {
+		rec, err := dalia.GenerateSubject(dc, s)
+		if err != nil {
+			panic("bench: belief kernel data: " + err.Error())
+		}
+		ws = append(ws, dalia.Windows(rec, dc.WindowSamples, dc.StrideSamples)...)
+	}
+	t, err := belief.LearnWindows(belief.DefaultGrid(), ws, belief.DefaultLearnConfig())
+	if err != nil {
+		panic("bench: belief kernel table: " + err.Error())
+	}
+	return t
+}
+
+// beliefDenseTable builds a fully dense prior (Gaussian rows, no zero
+// cell), forcing the filter onto the gemm.F64 panel path.
+func beliefDenseTable() *belief.Table {
+	g := belief.DefaultGrid()
+	t := &belief.Table{Grid: g, P: make([]float64, g.Bins*g.Bins)}
+	for i := 0; i < g.Bins; i++ {
+		sum := 0.0
+		for j := 0; j < g.Bins; j++ {
+			d := float64(j - i)
+			t.P[i*g.Bins+j] = math.Exp(-0.5 * d * d / 25)
+			sum += t.P[i*g.Bins+j]
+		}
+		for j := 0; j < g.Bins; j++ {
+			t.P[i*g.Bins+j] /= sum
+		}
+	}
+	return t
+}
+
+// beliefKernels measures the streaming forward pass per window: one
+// predictive roll (banded span contraction or gemm.F64 panel matvec),
+// one Gaussian likelihood fusion, and the interval accessor the offload
+// gate reads. Both variants must report zero allocations — the update
+// runs inside the simulator tick loops.
+func beliefKernels() []KernelResult {
+	run := func(name string, t *belief.Table) KernelResult {
+		f, err := belief.NewFilter(t)
+		if err != nil {
+			panic("bench: belief kernel filter: " + err.Error())
+		}
+		hr, dir := 80.0, 1.0
+		return runKernel(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.ObserveGaussian(hr, 4)
+				_ = f.PredictiveWidth(0.9)
+				hr += dir
+				if hr > 170 || hr < 60 {
+					dir = -dir
+				}
+			}
+		})
+	}
+	return []KernelResult{
+		run("BeliefForward64", beliefKernelTable()),
+		run("BeliefForward64Dense", beliefDenseTable()),
+	}
+}

@@ -32,6 +32,7 @@ type BenchReport struct {
 	BuildRecords RecordScaling      `json:"build_records"`
 	Serve        ServeMetrics       `json:"serve"`
 	Fleet        FleetMetrics       `json:"fleet"`
+	Belief       BeliefMetrics      `json:"belief"`
 	Headline     map[string]float64 `json:"headline"`
 }
 
@@ -60,6 +61,10 @@ func BuildBenchReport(s *Suite) (BenchReport, error) {
 	}
 
 	if rep.Fleet, err = MeasureFleet(); err != nil {
+		return BenchReport{}, err
+	}
+
+	if rep.Belief, err = MeasureBelief(s); err != nil {
 		return BenchReport{}, err
 	}
 

@@ -360,6 +360,7 @@ func KernelBenchmarks() []KernelResult {
 	results = append(results, cacheKernels()...)
 	results = append(results, simKernels()...)
 	results = append(results, fleetKernels()...)
+	results = append(results, beliefKernels()...)
 	return append(results, serveKernels()...)
 }
 

@@ -116,9 +116,15 @@ type Suite struct {
 	Zoo        *core.Zoo
 	Classifier *rf.Classifier
 	// ProfileRecords/Profiles come from the profiling subjects — the
-	// table stored in the watch MCU.
+	// table stored in the watch MCU. ProfileWindows are the windows the
+	// records were built from, index-aligned (the belief layer fits its
+	// motion-scaled observation sigmas against them).
 	ProfileRecords []core.WindowRecord
+	ProfileWindows []dalia.Window
 	Profiles       []core.Profile
+	// TrainWindows come from the training subjects (the transition-prior
+	// learning set of the belief layer).
+	TrainWindows []dalia.Window
 	// TestWindows/TestRecords come from held-out subjects.
 	TestWindows []dalia.Window
 	TestRecords []core.WindowRecord
@@ -161,7 +167,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 		return nil, err
 	}
 
-	s := &Suite{Cfg: cfg, Sys: hw.NewSystem(), Dataset: ds, TestWindows: testW}
+	s := &Suite{Cfg: cfg, Sys: hw.NewSystem(), Dataset: ds, TrainWindows: trainW, TestWindows: testW}
 
 	// Difficulty detector on the training subjects.
 	cfg.logf("training difficulty detector (%d windows)", len(trainW))
@@ -210,6 +216,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.ProfileWindows = profW
 	s.TestRecords, err = s.obtainRecords("test", testW)
 	if err != nil {
 		return nil, err

@@ -144,3 +144,53 @@ func (e *Engine) Predict(cfg *Profile, w *dalia.Window) Decision {
 	d.HR = d.Model.EstimateHR(w)
 	return d
 }
+
+// Confidence is the belief layer's per-window summary of how certain the
+// tracker already is, measured on the predictive distribution — i.e.
+// before this window's estimate exists, which is the only information an
+// offload decision can act on.
+type Confidence struct {
+	Width   float64 // central credible-interval width, BPM
+	Entropy float64 // predictive entropy, nats
+}
+
+// UncertaintyGate demotes offloads when the tracker is already confident:
+// a bound is active when > 0, and the gate holds when every active bound
+// is satisfied. The zero gate is inert.
+type UncertaintyGate struct {
+	MaxWidth   float64 // demote when interval width < MaxWidth BPM
+	MaxEntropy float64 // demote when predictive entropy < MaxEntropy nats
+}
+
+// Active reports whether the gate can ever demote a decision.
+func (g UncertaintyGate) Active() bool { return g.MaxWidth > 0 || g.MaxEntropy > 0 }
+
+// Confident reports whether every active bound is satisfied — the belief
+// is tight enough that the phone-side model is unlikely to change the
+// track.
+func (g UncertaintyGate) Confident(c Confidence) bool {
+	if !g.Active() {
+		return false
+	}
+	if g.MaxWidth > 0 && !(c.Width < g.MaxWidth) {
+		return false
+	}
+	if g.MaxEntropy > 0 && !(c.Entropy < g.MaxEntropy) {
+		return false
+	}
+	return true
+}
+
+// DispatchGated is Dispatch with the uncertainty gate of the belief
+// layer: an offload decision is demoted to the simple local model when
+// the gate is active and the belief is confident. Local decisions are
+// never touched — the gate only trims radio escalations, so at worst the
+// policy falls back to the paper's pure-local arm for that window. The
+// second return reports whether a demotion happened.
+func (e *Engine) DispatchGated(cfg *Profile, w *dalia.Window, g UncertaintyGate, c Confidence) (Decision, bool) {
+	d := e.Dispatch(cfg, w)
+	if !d.Offloaded || !g.Confident(c) {
+		return d, false
+	}
+	return Decision{Model: cfg.Simple, Offloaded: false, Difficulty: d.Difficulty}, true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUncertaintyGateActivation(t *testing.T) {
+	if (UncertaintyGate{}).Active() {
+		t.Error("zero gate reports active")
+	}
+	if !(UncertaintyGate{MaxWidth: 10}).Active() {
+		t.Error("width-bounded gate reports inert")
+	}
+	if !(UncertaintyGate{MaxEntropy: 2}).Active() {
+		t.Error("entropy-bounded gate reports inert")
+	}
+}
+
+func TestUncertaintyGateConfident(t *testing.T) {
+	inert := UncertaintyGate{}
+	if inert.Confident(Confidence{Width: 0, Entropy: 0}) {
+		t.Error("inert gate claimed confidence (would demote offloads with gating disabled)")
+	}
+	g := UncertaintyGate{MaxWidth: 10}
+	cases := []struct {
+		c    Confidence
+		want bool
+	}{
+		{Confidence{Width: 5}, true},
+		{Confidence{Width: 10}, false}, // bound is strict
+		{Confidence{Width: 15}, false},
+		{Confidence{Width: math.NaN()}, false}, // NaN never satisfies a bound
+		{Confidence{Width: math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		if got := g.Confident(tc.c); got != tc.want {
+			t.Errorf("Confident(width %v) = %v, want %v", tc.c.Width, got, tc.want)
+		}
+	}
+	both := UncertaintyGate{MaxWidth: 10, MaxEntropy: 2}
+	if both.Confident(Confidence{Width: 5, Entropy: 3}) {
+		t.Error("confident with one active bound violated")
+	}
+	if !both.Confident(Confidence{Width: 5, Entropy: 1}) {
+		t.Error("not confident with both bounds satisfied")
+	}
+}
+
+// TestDispatchGated: the gate only ever demotes offloads — local
+// decisions pass through untouched, and a demotion lands on the
+// configuration's simple model with the difficulty preserved.
+func TestDispatchGated(t *testing.T) {
+	e, profiles := testEngine(t)
+	cls, ws := trainedClassifier(t)
+	_ = cls
+
+	confident := Confidence{Width: 1}
+	tight := UncertaintyGate{MaxWidth: 50}
+	demoted, passed := 0, 0
+	for pi := range profiles {
+		hybrid := &profiles[pi]
+		if hybrid.Exec != Hybrid {
+			continue
+		}
+		for i := range ws {
+			w := &ws[i]
+			plain := e.Dispatch(hybrid, w)
+			d, gated := e.DispatchGated(hybrid, w, tight, confident)
+			if d.Difficulty != plain.Difficulty {
+				t.Fatalf("window %d: gating changed difficulty %d -> %d", i, plain.Difficulty, d.Difficulty)
+			}
+			switch {
+			case !plain.Offloaded:
+				if gated || d != plain {
+					t.Fatalf("window %d: local decision altered by gate", i)
+				}
+				passed++
+			default:
+				if !gated {
+					t.Fatalf("window %d: confident gate left an offload standing", i)
+				}
+				if d.Offloaded || d.Model != hybrid.Simple {
+					t.Fatalf("window %d: demotion did not land on the simple model", i)
+				}
+				demoted++
+			}
+
+			// A wide (unconfident) belief must leave every decision
+			// untouched, as must an inert gate.
+			if d, gated := e.DispatchGated(hybrid, w, tight, Confidence{Width: 80}); gated || d != plain {
+				t.Fatalf("window %d: unconfident gate altered the decision", i)
+			}
+			if d, gated := e.DispatchGated(hybrid, w, UncertaintyGate{}, confident); gated || d != plain {
+				t.Fatalf("window %d: inert gate altered the decision", i)
+			}
+		}
+	}
+	if demoted == 0 {
+		t.Error("no window exercised the demotion path")
+	}
+	if passed == 0 {
+		t.Error("no window exercised the pass-through path")
+	}
+}

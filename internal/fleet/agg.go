@@ -22,6 +22,9 @@ const (
 	MetricWindows
 	MetricExhausted
 	MetricRelaxed
+	MetricGatedFrac
+	MetricBeliefWidth
+	MetricBeliefCover
 	NumMetrics
 )
 
@@ -52,6 +55,9 @@ var metricSpecs = [NumMetrics]metricSpec{
 	MetricWindows:      {"windows", 1, 0, 1e6},
 	MetricExhausted:    {"exhausted", 1e9, 0, 1},
 	MetricRelaxed:      {"relaxed", 1e9, 0, 1},
+	MetricGatedFrac:    {"gated_frac", 1e9, 0, 1},
+	MetricBeliefWidth:  {"belief_width", 1e6, 0, 60},
+	MetricBeliefCover:  {"belief_cover", 1e9, 0, 1},
 }
 
 // MetricNames returns the metric names in vector order.

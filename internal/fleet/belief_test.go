@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// beliefTestConfig crosses the default mix with the belief layer on a
+// CI-sized fleet.
+func beliefTestConfig(b BeliefConfig) Config {
+	cfg := DefaultConfig()
+	cfg.Users = 30
+	cfg.Days = 0.02
+	cfg.Seed = 3
+	cfg.Belief = b
+	return cfg
+}
+
+// TestFleetBeliefGateWinsTrade is the fleet-level acceptance gate: with
+// smoothing and a tuned uncertainty gate, the population must offload
+// strictly fewer windows than the point-estimate baseline at equal or
+// better mean MAE.
+func TestFleetBeliefGateWinsTrade(t *testing.T) {
+	base, err := Run(beliefTestConfig(BeliefConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := Run(beliefTestConfig(BeliefConfig{Enabled: true, Smooth: true, GateBPM: 33}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, gm := base.Overall["mae"].Mean, gated.Overall["mae"].Mean
+	bo, gof := base.Overall["offload_frac"].Mean, gated.Overall["offload_frac"].Mean
+	gf := gated.Overall["gated_frac"].Mean
+	if gf <= 0 {
+		t.Fatal("gate never fired; threshold is mis-tuned for the fleet noise model")
+	}
+	if gof >= bo {
+		t.Errorf("gated fleet offloads %.3f of windows, baseline %.3f — no reduction", gof, bo)
+	}
+	if gm > bm {
+		t.Errorf("gated fleet MAE %.3f worse than baseline %.3f", gm, bm)
+	}
+	cover := gated.Overall["belief_cover"].Mean
+	if cover < 0.85 || cover > 0.99 {
+		t.Errorf("population CI coverage %.3f outside sanity band [0.85, 0.99]", cover)
+	}
+	if w := gated.Overall["belief_width"].Mean; !(w > 0) || w > 60 {
+		t.Errorf("population CI width %.2f BPM not informative", w)
+	}
+	// Belief metrics stay zero when the layer is off.
+	for _, n := range []string{"gated_frac", "belief_width", "belief_cover"} {
+		if v := base.Overall[n].Mean; v != 0 {
+			t.Errorf("belief-free fleet reports %s = %v", n, v)
+		}
+	}
+}
+
+// TestFleetBeliefWorkerInvariance extends the determinism pin to the
+// belief path: same seed, any worker count, byte-identical summary.
+func TestFleetBeliefWorkerInvariance(t *testing.T) {
+	var want *Summary
+	var wantJSON []byte
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := beliefTestConfig(BeliefConfig{Enabled: true, Smooth: true, GateBPM: 33})
+		cfg.Workers = w
+		sum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want, wantJSON = sum, mustJSON(t, sum)
+			continue
+		}
+		if !reflect.DeepEqual(sum, want) {
+			t.Fatalf("workers=%d belief summary differs", w)
+		}
+		if got := mustJSON(t, sum); string(got) != string(wantJSON) {
+			t.Fatalf("workers=%d belief JSON differs", w)
+		}
+	}
+}
+
+// TestBeliefConfigValidate: knob validation and the Mass default.
+func TestBeliefConfigValidate(t *testing.T) {
+	b := BeliefConfig{Enabled: true}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Mass != 0.9 {
+		t.Errorf("zero Mass normalized to %v, want 0.9", b.Mass)
+	}
+	// Disabled configs skip validation entirely — stale knob values in a
+	// config file must not break belief-free fleets.
+	junk := BeliefConfig{Enabled: false, GateBPM: math.NaN(), Mass: -4}
+	if err := junk.Validate(); err != nil {
+		t.Errorf("disabled belief config rejected: %v", err)
+	}
+	for name, bad := range map[string]BeliefConfig{
+		"nan gate": {Enabled: true, GateBPM: math.NaN()},
+		"neg gate": {Enabled: true, GateBPM: -2},
+		"big mass": {Enabled: true, Mass: 1.5},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestBeliefConfigHash: belief knobs fingerprint the checkpoint only when
+// the layer is enabled, so a belief-free fleet hashes like a fleet that
+// never had the knob.
+func TestBeliefConfigHash(t *testing.T) {
+	a := beliefTestConfig(BeliefConfig{})
+	b := beliefTestConfig(BeliefConfig{Enabled: false, GateBPM: 99, Mass: 0.5})
+	if a.hash() != b.hash() {
+		t.Error("disabled belief knobs leaked into the config hash")
+	}
+	on := beliefTestConfig(BeliefConfig{Enabled: true, Smooth: true, GateBPM: 33, Mass: 0.9})
+	if on.hash() == a.hash() {
+		t.Error("enabling belief did not change the config hash")
+	}
+	tweaked := on
+	tweaked.Belief.GateBPM = 34
+	if tweaked.hash() == on.hash() {
+		t.Error("gate threshold not covered by the config hash")
+	}
+}

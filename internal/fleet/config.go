@@ -296,6 +296,41 @@ func validateModels(specs []ModelSpec) error {
 	return nil
 }
 
+// BeliefConfig opts a fleet into the temporal belief layer: every user
+// runs the filter over a transition prior learned once from the fleet's
+// shared training subjects (the same windows that train the difficulty
+// forest), with per-model observation noise taken from the zoo's
+// BaseErr/MotionErr specs.
+type BeliefConfig struct {
+	// Enabled turns the layer on; the zero value reproduces the
+	// belief-free fleet bitwise, including its checkpoint geometry.
+	Enabled bool
+	// Smooth replaces each reported HR with the posterior mean.
+	Smooth bool
+	// GateBPM enables uncertainty-gated offload when > 0 (demote offloads
+	// whose predictive credible interval is narrower than this).
+	GateBPM float64
+	// Mass is the credible mass for intervals; 0 normalizes to 0.9.
+	Mass float64
+}
+
+// Validate checks (and normalizes) the belief knobs.
+func (b *BeliefConfig) Validate() error {
+	if !b.Enabled {
+		return nil
+	}
+	if b.Mass == 0 {
+		b.Mass = 0.9
+	}
+	if !isFinite(b.GateBPM) || b.GateBPM < 0 {
+		return fmt.Errorf("fleet: belief GateBPM %v must be finite and non-negative", b.GateBPM)
+	}
+	if math.IsNaN(b.Mass) || b.Mass <= 0 || b.Mass >= 1 {
+		return fmt.Errorf("fleet: belief Mass %v outside (0, 1)", b.Mass)
+	}
+	return nil
+}
+
 // maxUsers bounds the fleet so the aggregators' int64 tick sums cannot
 // overflow: every metric's per-user tick magnitude stays under ~9e10 (see
 // agg.go), and 9e10 × 1e8 users fits int64 with margin.
@@ -314,6 +349,9 @@ type Config struct {
 	Population Population
 	// Models is the surrogate zoo in zoo order (least → most accurate).
 	Models []ModelSpec
+	// Belief opts the fleet into the temporal belief layer (off by
+	// default; the zero value keeps the PR 8 pipeline bitwise).
+	Belief BeliefConfig
 	// Workers caps the simulation goroutines; 0 means GOMAXPROCS. The
 	// summary is worker-count invariant, so this is purely a throughput
 	// knob.
@@ -368,6 +406,9 @@ func (c *Config) Validate() error {
 	if err := c.Population.Validate(); err != nil {
 		return err
 	}
+	if err := c.Belief.Validate(); err != nil {
+		return err
+	}
 	return validateModels(c.Models)
 }
 
@@ -381,6 +422,11 @@ func (c *Config) hash() string {
 	fmt.Fprintf(h, " pop=%g,%g,%g,%g,%g,%g", p.DayScale, p.CouplingMedian, p.CouplingSpread, p.NoiseMin, p.NoiseMax, p.HRShiftSigma)
 	for _, m := range c.Models {
 		fmt.Fprintf(h, " m=%s,%d,%d,%g,%g,%g", m.Name, m.Ops, m.Params, m.BaseErr, m.MotionErr, m.BiasSigma)
+	}
+	// Appended only when enabled, so turning the layer off hashes like a
+	// fleet that never had the knob.
+	if c.Belief.Enabled {
+		fmt.Fprintf(h, " belief=%v,%g,%g", c.Belief.Smooth, c.Belief.GateBPM, c.Belief.Mass)
 	}
 	return strconv.FormatUint(h.Sum64(), 16)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 
+	"repro/internal/belief"
 	"repro/internal/core"
 	"repro/internal/dalia"
 	"repro/internal/faults"
@@ -37,6 +38,11 @@ type Fleet struct {
 	root     *faults.Rand
 	rater    *rf.Classifier
 	mixTotal float64
+	// policy is the shared belief policy (nil when Belief.Enabled is
+	// false): one transition prior learned from the training subjects,
+	// read-only across workers — each user's sim.Run builds its own
+	// Filter on top of it.
+	policy *belief.Policy
 }
 
 // New validates cfg and builds the shared fleet state.
@@ -67,6 +73,29 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: training difficulty forest: %w", err)
 	}
 	f.rater = rater
+	if cfg.Belief.Enabled {
+		table, err := belief.LearnWindows(belief.DefaultGrid(), ws, belief.DefaultLearnConfig())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: learning transition prior: %w", err)
+		}
+		// Observation noise per model comes from the zoo specs: the sigma
+		// the filter assumes is exactly the sigma the surrogate injects.
+		sigmas := make(map[string]belief.SigmaSpec, len(cfg.Models))
+		for _, m := range cfg.Models {
+			sigmas[m.Name] = belief.SigmaSpec{Base: m.BaseErr, Motion: m.MotionErr}
+		}
+		f.policy = &belief.Policy{
+			Table:        table,
+			Smooth:       cfg.Belief.Smooth,
+			GateBPM:      cfg.Belief.GateBPM,
+			Mass:         cfg.Belief.Mass,
+			Sigmas:       sigmas,
+			DefaultSigma: belief.SigmaSpec{Base: 3, Motion: 8},
+		}
+		if err := f.policy.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: belief policy: %w", err)
+		}
+	}
 	return f, nil
 }
 
@@ -311,6 +340,7 @@ func (f *Fleet) SimConfig(u *User, battery *power.Battery) sim.Config {
 		Battery:         battery,
 		IncludeSensors:  true,
 		Faults:          u.Injector,
+		Belief:          f.policy,
 	}
 }
 
@@ -359,6 +389,11 @@ func userMetrics(res *sim.Result, u *User, m *[NumMetrics]float64) {
 	if windows > 0 {
 		m[MetricSkippedFrac] = float64(res.SkippedWindows) / windows
 	}
+	if res.Predictions > 0 {
+		m[MetricGatedFrac] = float64(res.GatedOffloads) / float64(res.Predictions)
+	}
+	m[MetricBeliefWidth] = res.BeliefWidthMean
+	m[MetricBeliefCover] = res.BeliefCoverage
 	m[MetricReselections] = float64(res.Reselections)
 	m[MetricWindows] = windows
 	if res.BatteryExhausted {

@@ -1,0 +1,77 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refF64 mirrors refF32: per output element, products added one at a time
+// in ascending-k order on top of the existing C value. F64 must reproduce
+// this bitwise — the belief filter's banded/dense equivalence proof leans
+// on the ascending-k accumulation order.
+func refF64(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := c[i*n+j]
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+func randF64(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+func TestF64MatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	sizes := []struct{ m, k, n int }{
+		{1, 1, 1}, {1, 90, 90}, {2, 3, 4}, {5, 7, 8}, {3, 16, 12},
+		{4, 9, 17}, {1, 33, 5}, {8, 8, 8}, {2, 64, 20},
+	}
+	for _, s := range sizes {
+		a := randF64(rng, s.m*s.k)
+		b := randF64(rng, s.k*s.n)
+		seed := randF64(rng, s.m*s.n)
+		got := append([]float64(nil), seed...)
+		want := append([]float64(nil), seed...)
+		F64(got, a, b, s.m, s.k, s.n)
+		refF64(want, a, b, s.m, s.k, s.n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d k=%d n=%d: c[%d] = %v, want %v (bitwise)",
+					s.m, s.k, s.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestF64DegenerateDims(t *testing.T) {
+	c := []float64{7}
+	F64(c, nil, nil, 0, 0, 0)
+	F64(c, nil, nil, 1, 0, 1)
+	F64(c, nil, nil, 0, 1, 1)
+	if c[0] != 7 {
+		t.Errorf("degenerate dims touched C: %v", c[0])
+	}
+}
+
+func BenchmarkF64_90x90Matvec(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randF64(rng, 90)
+	m := randF64(rng, 90*90)
+	c := make([]float64, 90)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = 0
+		}
+		F64(c, a, m, 1, 90, 90)
+	}
+}

@@ -32,6 +32,21 @@ func F32(c, a, b []float32, m, k, n int) {
 	f32Generic(c, a, b, m, k, n, 0)
 }
 
+// F64 computes C += A·B in float64 with A (m×k), B (k×n) and C (m×n),
+// all row-major and dense — the double-precision reference shape the
+// belief layer's bin-space matvecs lower onto. There is no asm variant
+// yet; the scalar panels use the same bias-seeded ascending-k chains as
+// F32, so a future SIMD kernel must (and can) match bitwise.
+func F64(c, a, b []float64, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return
+	}
+	_ = a[m*k-1]
+	_ = b[k*n-1]
+	_ = c[m*n-1]
+	f64Generic(c, a, b, m, k, n, 0)
+}
+
 // F32NT computes C += A·Bᵀ with A (m×k), B (n×k) and C (m×n), all
 // row-major: C[i][j] += Σ_p A[i][p]·B[j][p]. On amd64 large-enough shapes
 // transpose B into a pooled k×n panel and run the same vector kernels as

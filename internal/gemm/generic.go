@@ -70,6 +70,68 @@ func f32Generic(c, a, b []float32, m, k, n, j0 int) {
 	}
 }
 
+// f64Generic computes the F64 update over columns [j0, n), mirroring
+// f32Generic's panel structure and per-element ascending-k accumulation.
+func f64Generic(c, a, b []float64, m, k, n, j0 int) {
+	j := j0
+	for ; j+8 <= n; j += 8 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+8 : ci+8]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			c4, c5, c6, c7 := cr[4], cr[5], cr[6], cr[7]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				br := b[bi : bi+8 : bi+8]
+				c0 += av * br[0]
+				c1 += av * br[1]
+				c2 += av * br[2]
+				c3 += av * br[3]
+				c4 += av * br[4]
+				c5 += av * br[5]
+				c6 += av * br[6]
+				c7 += av * br[7]
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+			cr[4], cr[5], cr[6], cr[7] = c4, c5, c6, c7
+		}
+	}
+	for ; j+4 <= n; j += 4 {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			ci := i*n + j
+			cr := c[ci : ci+4 : ci+4]
+			c0, c1, c2, c3 := cr[0], cr[1], cr[2], cr[3]
+			bi := j
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				br := b[bi : bi+4 : bi+4]
+				c0 += av * br[0]
+				c1 += av * br[1]
+				c2 += av * br[2]
+				c3 += av * br[3]
+				bi += n
+			}
+			cr[0], cr[1], cr[2], cr[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := 0; i < m; i++ {
+			ar := a[i*k : i*k+k]
+			acc := c[i*n+j]
+			bi := j
+			for p := 0; p < k; p++ {
+				acc += ar[p] * b[bi]
+				bi += n
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
 // f32NTGeneric computes the F32NT update: C[i][j] += Σ_p A[i][p]·B[j][p].
 // The reduction runs over contiguous rows of both operands (the
 // dot-product form), unrolled four rows of A at a time so each streamed B

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/belief"
+)
+
+// servePolicy learns a prior over the fixture windows and names the
+// fixture estimators.
+func servePolicy(t testing.TB) *belief.Policy {
+	t.Helper()
+	_, _, ws := fixture(t)
+	tab, err := belief.LearnWindows(belief.DefaultGrid(), ws, belief.DefaultLearnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := belief.DefaultPolicy(tab)
+	pol.Sigmas = map[string]belief.SigmaSpec{
+		"cheap": {Base: 8, Motion: 0},
+		"best":  {Base: 2.5, Motion: 0},
+	}
+	return pol
+}
+
+// runBeliefLockstep drives nSessions sessions for cycles windows each and
+// returns each session's drained results.
+func runBeliefLockstep(t *testing.T, pol *belief.Policy, nSessions, cycles int) [][]WindowResult {
+	t.Helper()
+	cfg, vc := lockstepConfig(t)
+	cfg.Belief = pol
+	_, _, ws := fixture(t)
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, nSessions)
+	for i := range sessions {
+		s, err := e.NewSession(fmt.Sprintf("u%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	for c := 0; c < cycles; c++ {
+		for i, s := range sessions {
+			s.Submit(&ws[(i*cycles+c)%len(ws)], vc.Now())
+		}
+		e.Tick()
+		vc.Advance(cfg.System.PeriodSeconds)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]WindowResult, nSessions)
+	for i, s := range sessions {
+		out[i] = s.Drain()
+	}
+	return out
+}
+
+// TestServeBeliefDeterministic: two identical belief-enabled lockstep
+// runs must produce deeply equal per-session results — the filter state
+// is session-local and the cycle order is fixed.
+func TestServeBeliefDeterministic(t *testing.T) {
+	pol := servePolicy(t)
+	pol.GateBPM = 30
+	a := runBeliefLockstep(t, pol, 4, 24)
+	b := runBeliefLockstep(t, pol, 4, 24)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("belief lockstep runs diverged")
+	}
+	smoothed := 0
+	for _, res := range a {
+		for _, r := range res {
+			if r.CIWidth > 0 {
+				smoothed++
+			}
+		}
+	}
+	if smoothed == 0 {
+		t.Error("no window carries belief telemetry")
+	}
+}
+
+// TestServeBeliefObserverPin: observer mode (no smoothing, no gate) must
+// reproduce the belief-free engine's results except for the CIWidth
+// telemetry field.
+func TestServeBeliefObserverPin(t *testing.T) {
+	plain := runBeliefLockstep(t, nil, 3, 20)
+	pol := servePolicy(t)
+	pol.Smooth = false
+	pol.GateBPM = 0
+	obs := runBeliefLockstep(t, pol, 3, 20)
+	if len(obs) != len(plain) {
+		t.Fatal("session count differs")
+	}
+	for si := range plain {
+		if len(obs[si]) != len(plain[si]) {
+			t.Fatalf("session %d: %d vs %d results", si, len(obs[si]), len(plain[si]))
+		}
+		for ri := range plain[si] {
+			o := obs[si][ri]
+			if o.CIWidth <= 0 && !o.Outcome.Discarded() {
+				t.Errorf("session %d window %d: no CI width recorded", si, ri)
+			}
+			o.CIWidth = 0
+			if o != plain[si][ri] {
+				t.Errorf("session %d window %d: observer mode changed the result:\nplain: %+v\nobserved: %+v",
+					si, ri, plain[si][ri], o)
+			}
+		}
+	}
+}
+
+// TestServeBeliefGateDemotes: an always-confident gate must convert every
+// would-be offload into a local simple run and count it in the session
+// stats.
+func TestServeBeliefGateDemotes(t *testing.T) {
+	cfg, vc := lockstepConfig(t)
+	pol := servePolicy(t)
+	pol.GateBPM = 10_000
+	cfg.Belief = pol
+	_, _, ws := fixture(t)
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession("gated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 32; c++ {
+		s.Submit(&ws[c%len(ws)], vc.Now())
+		e.Tick()
+		vc.Advance(cfg.System.PeriodSeconds)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Drain()
+	gated := 0
+	for _, r := range res {
+		if r.Offloaded {
+			t.Errorf("window offloaded despite an always-confident gate")
+		}
+		if r.Gated {
+			gated++
+		}
+	}
+	if gated == 0 {
+		t.Error("no window was gated")
+	}
+	if st := s.Stats(); st.GatedWindows != uint64(gated) {
+		t.Errorf("stats count %d gated windows, results show %d", st.GatedWindows, gated)
+	}
+}
+
+// TestServeBeliefInvalidPolicy: Open must reject a malformed policy.
+func TestServeBeliefInvalidPolicy(t *testing.T) {
+	cfg, _ := lockstepConfig(t)
+	pol := servePolicy(t)
+	pol.Mass = -1
+	cfg.Belief = pol
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open accepted an invalid belief policy")
+	}
+}

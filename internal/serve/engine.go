@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/belief"
 	"repro/internal/core"
 	"repro/internal/dalia"
 	"repro/internal/faults"
@@ -83,6 +84,15 @@ type Config struct {
 	// Workers bounds the cycle's parallelism across sessions and
 	// inference chunks (default GOMAXPROCS).
 	Workers int
+
+	// Belief, when non-nil, runs a per-session temporal belief filter over
+	// each stream: estimates are fused into a posterior over HR bins,
+	// optionally smoothed (Policy.Smooth) and offloads demoted when the
+	// predictive credible interval is already narrow (Policy.GateBPM). A
+	// nil Belief reproduces the belief-free engine bitwise. The filter is
+	// session-local cycle state: it survives restarts (a restart heals
+	// pipeline state, it does not rewrite the stream's history).
+	Belief *belief.Policy
 }
 
 // Engine multiplexes many independent PPG sessions over one model zoo:
@@ -187,6 +197,11 @@ func Open(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("serve: fault scenario: %w", err)
 		}
 	}
+	if cfg.Belief != nil {
+		if err := cfg.Belief.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: belief policy: %w", err)
+		}
+	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = NewWallClock()
@@ -250,6 +265,11 @@ func (e *Engine) NewSession(id string) (*Session, error) {
 		return nil, fmt.Errorf("serve: session %q: %w", id, err)
 	}
 	s := &Session{id: id, eng: e, inj: inj, rng: inj.Rand()}
+	if e.cfg.Belief != nil {
+		if s.bf, err = belief.NewFilter(e.cfg.Belief.Table); err != nil {
+			return nil, fmt.Errorf("serve: session %q: %w", id, err)
+		}
+	}
 	now := e.clock.Now()
 	s.engineUp = s.rawUp(now)
 	current, err := e.cfg.Engine.SelectConfig(s.engineUp, e.cfg.Constraint)

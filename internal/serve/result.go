@@ -87,6 +87,13 @@ type WindowResult struct {
 	// VirtualClock it measures queueing delay only (processing happens
 	// within one frozen tick).
 	Latency float64
+	// Gated is true when the uncertainty gate demoted this window's
+	// offload to the local simple model (belief mode only).
+	Gated bool
+	// CIWidth is the posterior credible-interval width in BPM after this
+	// window's estimate was fused (0 when belief is off or the window was
+	// discarded).
+	CIWidth float64
 }
 
 // SessionStats aggregates one session's robustness counters. All counts
@@ -112,6 +119,9 @@ type SessionStats struct {
 	SupervisionDrops  uint64
 	DeadlineMisses    uint64
 	RetransmitPackets uint64
+	// GatedWindows counts offloads demoted by the uncertainty gate
+	// (belief mode only).
+	GatedWindows uint64
 	// Supervision.
 	Restarts     uint64
 	Reselections uint64

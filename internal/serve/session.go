@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/belief"
 	"repro/internal/core"
 	"repro/internal/dalia"
 	"repro/internal/faults"
@@ -68,6 +69,8 @@ type job struct {
 	attempted   bool // the offload pipeline ran (deadline-miss accounting)
 	phoneEnergy power.Energy
 	hr          float64
+	gated       bool    // offload demoted by the uncertainty gate
+	ciWidth     float64 // posterior credible-interval width after fusion
 }
 
 // Session is one user's isolated slice of the engine: a bounded mailbox,
@@ -100,6 +103,13 @@ type Session struct {
 	failStreak    int
 	goodStreak    int
 	cooldown      int
+	// bf is the session's belief filter (nil unless Config.Belief is
+	// set); rmsBuf is its reusable motion-RMS scratch. Like the channel
+	// state above, both are touched only from the engine's cycle — but
+	// unlike it, the filter deliberately survives restart: it tracks the
+	// stream's history, not the pipeline's health.
+	bf     *belief.Filter
+	rmsBuf []float64
 }
 
 // ID returns the session identifier.
@@ -264,7 +274,17 @@ func (s *Session) step1(now float64, j *job) {
 	}
 
 	up := s.rawUp(j.arrival)
-	d := e.cfg.Engine.Dispatch(&s.current, j.w)
+	var d core.Decision
+	if pol := e.cfg.Belief; s.bf != nil && pol.GateBPM > 0 {
+		// Every job routed this cycle shares the pre-cycle predictive
+		// width: the decision is made before any of the cycle's results
+		// exist, exactly like a real device deciding on stale belief.
+		c := core.Confidence{Width: s.bf.PredictiveWidth(pol.Mass)}
+		d, j.gated = e.cfg.Engine.DispatchGated(&s.current, j.w,
+			core.UncertaintyGate{MaxWidth: pol.GateBPM}, c)
+	} else {
+		d = e.cfg.Engine.Dispatch(&s.current, j.w)
+	}
 	j.difficulty = d.Difficulty
 	windowFault := false
 	switch {
@@ -372,6 +392,27 @@ func (s *Session) finalize(completion float64, jobs []job) {
 			j.outcome = OutcomeLate
 			j.hr = 0
 		}
+		if s.bf != nil {
+			// Fuse in submission order: discarded windows coast (time
+			// passes for the hidden chain with no estimate), everything
+			// else updates the posterior with the producing model's
+			// motion-scaled sigma.
+			if j.outcome.Discarded() {
+				s.bf.Coast()
+			} else {
+				pol := e.cfg.Belief
+				var rms float64
+				rms, s.rmsBuf = belief.MotionRMS(j.w, s.rmsBuf)
+				s.bf.ObserveGaussian(j.hr, pol.Sigma(j.model, rms))
+				j.ciWidth = s.bf.Width(pol.Mass)
+				if pol.Smooth {
+					j.hr = s.bf.Mean()
+				}
+			}
+			if j.gated {
+				s.stats.GatedWindows++
+			}
+		}
 		switch j.outcome {
 		case OutcomeFull:
 			s.stats.FullRuns++
@@ -409,6 +450,8 @@ func (s *Session) finalize(completion float64, jobs []job) {
 			Offloaded:  j.offloaded,
 			Difficulty: j.difficulty,
 			Latency:    completion - j.arrival,
+			Gated:      j.gated,
+			CIWidth:    j.ciWidth,
 		})
 	}
 	s.smu.Unlock()

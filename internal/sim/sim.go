@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/belief"
 	"repro/internal/core"
 	"repro/internal/dalia"
 	"repro/internal/faults"
@@ -42,6 +43,14 @@ type Config struct {
 	// Protocol tunes the offload state machine; the zero value means
 	// DefaultProtocol(). Only consulted when Faults is non-nil.
 	Protocol Protocol
+	// Belief, when non-nil, runs the temporal belief filter over the HR
+	// stream: each estimate is fused into a posterior over HR bins,
+	// optionally replacing the reported HR with the posterior mean
+	// (Policy.Smooth) and demoting offloads the uncertainty gate deems
+	// unnecessary (Policy.GateBPM). A nil Belief reproduces the PR 8
+	// pipeline bitwise; so does an observer-mode policy (Smooth off, gate
+	// off) for every pre-existing Result field.
+	Belief *belief.Policy
 }
 
 // Protocol parameterizes the offload state machine and the reselection
@@ -150,6 +159,19 @@ type Result struct {
 	// FaultMAE is the MAE over exactly those windows.
 	FaultWindows int
 	FaultMAE     float64
+
+	// Belief counters, populated only when Config.Belief is set.
+
+	// BeliefBins is the HR-grid resolution of the active filter.
+	BeliefBins int
+	// GatedOffloads counts offload decisions demoted to the local simple
+	// model by the uncertainty gate.
+	GatedOffloads int
+	// BeliefWidthMean is the mean credible-interval width (BPM) across
+	// observed windows; BeliefCoverage the fraction of observed windows
+	// whose interval covered the true HR.
+	BeliefWidthMean float64
+	BeliefCoverage  float64
 }
 
 // Run executes the scenario.
@@ -193,6 +215,12 @@ func runClean(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
 	}
 	res.ActiveConfig = current.Name()
+	var bs *beliefState
+	if cfg.Belief != nil {
+		if bs, err = newBeliefState(&cfg); err != nil {
+			return Result{}, err
+		}
+	}
 
 	wi := 0
 	for t := 0.0; t < cfg.DurationSeconds; t += period {
@@ -230,10 +258,23 @@ func runClean(cfg Config) (Result, error) {
 			// dropped; its compute energy was charged when it started.
 			res.SkippedWindows++
 			windowWatch += chargeSkippedIdle(&res, sys, t, busyUntil, period)
+			if bs != nil {
+				bs.coast()
+			}
 		} else {
-			d := cfg.Engine.Predict(&current, w)
+			var d core.Decision
+			if bs != nil {
+				d = bs.dispatch(cfg.Engine, &current, w)
+				d.HR = d.Model.EstimateHR(w)
+			} else {
+				d = cfg.Engine.Predict(&current, w)
+			}
 			res.Predictions++
-			absErrSum += models.AbsError(d.HR, w.TrueHR)
+			rep := d.HR
+			if bs != nil {
+				rep = bs.observe(d.Model.Name(), (wi-1)%len(cfg.Windows), d.HR, w.TrueHR)
+			}
+			absErrSum += models.AbsError(rep, w.TrueHR)
 
 			var busy float64
 			if d.Offloaded {
@@ -267,6 +308,9 @@ func runClean(cfg Config) (Result, error) {
 			if err := cfg.Battery.Drain(drain); err != nil {
 				res.BatteryExhausted = true
 				res.FinalSoC = cfg.Battery.SoC()
+				if bs != nil {
+					bs.fold(&res)
+				}
 				res.finish(absErrSum, 0)
 				return res, nil
 			}
@@ -274,6 +318,9 @@ func runClean(cfg Config) (Result, error) {
 	}
 	if cfg.Battery != nil {
 		res.FinalSoC = cfg.Battery.SoC()
+	}
+	if bs != nil {
+		bs.fold(&res)
 	}
 	res.finish(absErrSum, 0)
 	return res, nil
@@ -331,6 +378,12 @@ func runFaults(cfg Config) (Result, error) {
 	}
 	res.ActiveConfig = current.Name()
 	failStreak, goodStreak, cooldown := 0, 0, 0
+	var bs *beliefState
+	if cfg.Belief != nil {
+		if bs, err = newBeliefState(&cfg); err != nil {
+			return Result{}, err
+		}
+	}
 
 	wi := 0
 	for t := 0.0; t < cfg.DurationSeconds; t += period {
@@ -354,8 +407,16 @@ func runFaults(cfg Config) (Result, error) {
 		if t < busyUntil {
 			res.SkippedWindows++
 			windowWatch += chargeSkippedIdle(&res, sys, t, busyUntil, period)
+			if bs != nil {
+				bs.coast()
+			}
 		} else {
-			d := cfg.Engine.Dispatch(&current, w)
+			var d core.Decision
+			if bs != nil {
+				d = bs.dispatch(cfg.Engine, &current, w)
+			} else {
+				d = cfg.Engine.Dispatch(&current, w)
+			}
 			var hr, busy float64
 			degraded, attempted := false, false
 
@@ -423,6 +484,13 @@ func runFaults(cfg Config) (Result, error) {
 			}
 
 			res.Predictions++
+			if bs != nil {
+				producedBy := d.Model.Name()
+				if degraded {
+					producedBy = current.Simple.Name()
+				}
+				hr = bs.observe(producedBy, (wi-1)%len(cfg.Windows), hr, w.TrueHR)
+			}
 			e := models.AbsError(hr, w.TrueHR)
 			absErrSum += e
 			if windowFault {
@@ -487,6 +555,9 @@ func runFaults(cfg Config) (Result, error) {
 			if err := cfg.Battery.Drain(drain); err != nil {
 				res.BatteryExhausted = true
 				res.FinalSoC = cfg.Battery.SoC()
+				if bs != nil {
+					bs.fold(&res)
+				}
 				res.finish(absErrSum, faultAbsErrSum)
 				return res, nil
 			}
@@ -494,6 +565,9 @@ func runFaults(cfg Config) (Result, error) {
 	}
 	if cfg.Battery != nil {
 		res.FinalSoC = cfg.Battery.SoC()
+	}
+	if bs != nil {
+		bs.fold(&res)
 	}
 	res.finish(absErrSum, faultAbsErrSum)
 	return res, nil
