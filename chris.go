@@ -24,7 +24,14 @@
 //     BeliefPolicy): an HMM whose learned transition prior smooths the
 //     per-window point estimates and whose posterior credible-interval
 //     width gates offloads through the decision engine
-//     (UncertaintyGate, Engine.DispatchGated; see examples/belief).
+//     (UncertaintyGate, Engine.DispatchGated; see examples/belief),
+//   - crash durability and live migration: the streaming engine
+//     snapshots complete per-session state into CRC-protected frames
+//     (ServeEngine.Checkpoint/Restore/Detach/Attach, ErrSnapshotCorrupt,
+//     ErrSnapshotStale), the simulator runs segmented and resumable
+//     (ScenarioState, SimulateResumable), and a resumed or migrated run
+//     is bitwise identical to one that never stopped (see
+//     examples/durability).
 //
 // See examples/quickstart for the three-call happy path: BuildPipeline →
 // Engine → Predict.
@@ -231,6 +238,23 @@ type (
 // Simulate runs a whole-system scenario.
 func Simulate(cfg ScenarioConfig) (ScenarioResult, error) { return sim.Run(cfg) }
 
+// ScenarioState is the complete inter-window carry of one simulation:
+// a zero value starts fresh, a saved value resumes, and any segmentation
+// of a run through a state is bitwise invisible in the final result.
+type ScenarioState = sim.State
+
+var (
+	// SimulateResumable advances a scenario through a ScenarioState until
+	// the given stop time (0 = completion); successive calls continue the
+	// same run.
+	SimulateResumable = sim.RunState
+	// EncodeScenarioState and DecodeScenarioState are the CRC-protected
+	// binary snapshot codec for ScenarioState (corrupt or stale frames
+	// are rejected with typed errors, never panics).
+	EncodeScenarioState = sim.EncodeState
+	DecodeScenarioState = sim.DecodeState
+)
+
 // DefaultOffloadProtocol returns the calibrated offload-protocol defaults.
 func DefaultOffloadProtocol() OffloadProtocol { return sim.DefaultProtocol() }
 
@@ -277,6 +301,12 @@ var (
 	OpenServeEngine = serve.Open
 	// NewServeVirtualClock returns a manually advanced clock at t=0.
 	NewServeVirtualClock = serve.NewVirtualClock
+	// ErrSnapshotCorrupt and ErrSnapshotStale classify rejected engine
+	// snapshots: damaged bytes versus intact frames from another
+	// configuration or codec version. Both degrade deterministically to
+	// a fresh session via ServeEngine.AttachOrFresh.
+	ErrSnapshotCorrupt = serve.ErrSnapshotCorrupt
+	ErrSnapshotStale   = serve.ErrSnapshotStale
 )
 
 // Overload-ladder outcomes (see serve.Outcome).

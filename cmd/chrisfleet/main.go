@@ -8,7 +8,7 @@
 // Usage:
 //
 //	chrisfleet [-users 1000] [-days 1] [-mix spec] [-seed 1]
-//	           [-workers 0] [-checkpoint file] [-resume]
+//	           [-workers 0] [-checkpoint file] [-resume] [-snapdays 0]
 //	           [-belief] [-gate 0] [-json] [-v]
 //
 // -mix is a comma list of scenario:constraint:weight cohorts, e.g.
@@ -18,7 +18,10 @@
 // across runs and worker counts, which CI uses as a replay gate via
 // -json. -checkpoint enables crash-safe progress; -resume continues an
 // interrupted run from its checkpoint and yields the same bytes as an
-// uninterrupted one.
+// uninterrupted one. -snapdays N additionally snapshots each in-flight
+// user's mid-day state every N simulated days, so a resume continues
+// interrupted users from their last segment instead of re-simulating
+// their whole horizon.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for crash-safe progress (empty = none)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from -checkpoint")
+	snapDays := flag.Float64("snapdays", 0, "mid-day sidecar snapshot cadence in simulated days (0 = off; requires -checkpoint)")
 	useBelief := flag.Bool("belief", false, "run the per-user temporal belief filter (posterior-mean smoothing)")
 	gateBPM := flag.Float64("gate", 0, "uncertainty-gate threshold in BPM (0 = gating off; implies -belief)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of text")
@@ -57,6 +61,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Checkpoint = *checkpoint
 	cfg.Resume = *resume
+	cfg.SnapshotDays = *snapDays
 	if *mixSpec != "" {
 		mix, err := fleet.ParseMix(*mixSpec)
 		if err != nil {

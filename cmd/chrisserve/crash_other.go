@@ -1,0 +1,10 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// crashSelf approximates a hard crash on platforms without SIGKILL
+// semantics: exit immediately with the conventional 128+9 code, skipping
+// all deferred cleanup.
+func crashSelf() { os.Exit(137) }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// crashSelf simulates the hardest crash the host can deliver — SIGKILL,
+// which cannot be caught, so no deferred cleanup or flush runs. The CI
+// crash-recovery gate uses it to prove a -resume run continues
+// byte-identically from the last durable checkpoint.
+func crashSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// Unreachable once the signal is delivered; the exit code below
+	// mirrors a SIGKILL death in case delivery ever fails.
+	os.Exit(137)
+}

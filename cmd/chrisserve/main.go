@@ -9,6 +9,7 @@
 //	chrisserve [-quick] [-sessions 32] [-seconds 10] [-rate 100]
 //	           [-faults commute|gym|worstcase|none] [-seed 1]
 //	           [-mae 6.0] [-virtual] [-cycles 64] [-belief] [-gate 0]
+//	           [-checkpoint file] [-resume] [-crashafter 0]
 //	           [-json] [-v]
 //
 // Two clocks, one engine:
@@ -20,10 +21,20 @@
 //   - -virtual runs the identical machinery in deterministic lockstep:
 //     the same -sessions/-cycles/-faults/-seed always produce
 //     byte-identical -json output, which CI uses as a replay gate.
+//
+// Durability: -checkpoint snapshots the complete engine state — after
+// every quiesced cycle in virtual mode, on a wall-clock cadence in wall
+// mode — with the atomic partial-file+rename discipline. -resume
+// restores the snapshot before running; a virtual run killed mid-way
+// (even with SIGKILL: -crashafter N self-kills after checkpointing
+// cycle N, which is the CI crash-recovery gate) and resumed under the
+// same flags emits -json output byte-identical to a run that never
+// crashed.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -57,11 +68,16 @@ func main() {
 	cycles := flag.Int("cycles", 64, "lockstep cycles in -virtual mode")
 	useBelief := flag.Bool("belief", false, "run the per-session temporal belief filter")
 	gateBPM := flag.Float64("gate", 0, "uncertainty-gate threshold in BPM (0 = gating off; implies -belief)")
+	checkpoint := flag.String("checkpoint", "", "engine snapshot file (virtual: every cycle, wall: every second)")
+	resume := flag.Bool("resume", false, "restore engine state from -checkpoint before running")
+	crashAfter := flag.Int("crashafter", 0, "virtual mode: SIGKILL self after checkpointing cycle N (CI crash gate)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
 
-	// Validate cheap inputs before the expensive suite build.
+	// Validate cheap inputs — including every flag combination — before
+	// the expensive suite build: a bad -gate or an orphan -resume must
+	// fail in milliseconds, not after minutes of dataset generation.
 	var scenario *faults.Scenario
 	if *faultsName != "" {
 		sc, ok := faults.ByName(*faultsName)
@@ -78,6 +94,28 @@ func main() {
 	}
 	if *rate <= 0 {
 		log.Fatalf("-rate %g must be positive", *rate)
+	}
+	if *seconds <= 0 {
+		log.Fatalf("-seconds %g must be positive", *seconds)
+	}
+	if *cycles < 1 {
+		log.Fatalf("-cycles %d < 1", *cycles)
+	}
+	if *gateBPM < 0 {
+		log.Fatalf("-gate %g is negative", *gateBPM)
+	}
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+	switch {
+	case *crashAfter < 0:
+		log.Fatalf("-crashafter %d is negative", *crashAfter)
+	case *crashAfter > 0 && *checkpoint == "":
+		log.Fatal("-crashafter requires -checkpoint")
+	case *crashAfter > 0 && !*virtual:
+		log.Fatal("-crashafter requires -virtual (wall mode checkpoints on its own cadence)")
+	case *crashAfter >= *cycles && *crashAfter > 0:
+		log.Fatalf("-crashafter %d must be below -cycles %d", *crashAfter, *cycles)
 	}
 
 	cfg := bench.DefaultSuiteConfig()
@@ -108,9 +146,6 @@ func main() {
 		FaultSeed:  uint64(*seed),
 	}
 	if *useBelief || *gateBPM > 0 {
-		if *gateBPM < 0 {
-			log.Fatalf("-gate %g is negative", *gateBPM)
-		}
 		pol, err := suite.BeliefPolicy()
 		if err != nil {
 			log.Fatal(err)
@@ -121,9 +156,9 @@ func main() {
 
 	var rep report
 	if *virtual {
-		rep, err = runVirtual(sCfg, suite.TestWindows, *nSessions, *cycles)
+		rep, err = runVirtual(sCfg, suite.TestWindows, *nSessions, *cycles, *checkpoint, *resume, *crashAfter)
 	} else {
-		rep, err = runWall(sCfg, suite.TestWindows, *nSessions, *seconds, *rate, *verbose)
+		rep, err = runWall(sCfg, suite.TestWindows, *nSessions, *seconds, *rate, *checkpoint, *resume, *verbose)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -192,29 +227,56 @@ func (r report) print() {
 }
 
 // runVirtual is the lockstep replay: one window per session per cycle,
-// deterministic byte-for-byte under equal flags.
-func runVirtual(cfg serve.Config, ws []dalia.Window, nSessions, cycles int) (report, error) {
+// deterministic byte-for-byte under equal flags. With a checkpoint path
+// the engine snapshots after every quiesced cycle; with resume it
+// restores the snapshot first and continues from the checkpointed cycle,
+// byte-identical to a run that never stopped. crashAfter > 0 SIGKILLs
+// the process right after cycle crashAfter's checkpoint lands — the
+// hardest crash the host can deliver — for the CI recovery gate.
+func runVirtual(cfg serve.Config, ws []dalia.Window, nSessions, cycles int, checkpoint string, resume bool, crashAfter int) (report, error) {
 	vc := serve.NewVirtualClock()
 	cfg.Clock = vc
 	e, err := serve.Open(cfg)
 	if err != nil {
 		return report{}, err
 	}
+	start := 0
+	if resume {
+		if err := e.RestoreFile(checkpoint); err != nil {
+			return report{}, fmt.Errorf("resume: %w", err)
+		}
+		// The restored clock sits at the checkpoint instant; the next
+		// cycle index is its quotient by the window period.
+		start = int(vc.Now()/cfg.System.PeriodSeconds + 0.5)
+	}
 	sessions := make([]*serve.Session, nSessions)
 	for i := range sessions {
-		s, err := e.NewSession(fmt.Sprintf("u%04d", i))
+		id := fmt.Sprintf("u%04d", i)
+		if s := e.Session(id); s != nil {
+			sessions[i] = s
+			continue
+		}
+		s, err := e.NewSession(id)
 		if err != nil {
 			return report{}, err
 		}
 		sessions[i] = s
 	}
-	for c := 0; c < cycles; c++ {
+	for c := start; c < cycles; c++ {
 		for i, s := range sessions {
 			w := &ws[(i*cycles+c)%len(ws)]
 			s.Submit(w, vc.Now())
 		}
 		e.Tick()
 		vc.Advance(cfg.System.PeriodSeconds)
+		if checkpoint != "" {
+			if err := e.Checkpoint(checkpoint); err != nil {
+				return report{}, err
+			}
+			if crashAfter > 0 && c+1 == crashAfter {
+				crashSelf()
+			}
+		}
 	}
 	if err := e.Close(); err != nil {
 		return report{}, err
@@ -239,16 +301,42 @@ func runVirtual(cfg serve.Config, ws []dalia.Window, nSessions, cycles int) (rep
 }
 
 // runWall free-runs the engine against real time with per-session
-// submitter goroutines at the accelerated window period.
-func runWall(cfg serve.Config, ws []dalia.Window, nSessions int, seconds, rate float64, verbose bool) (report, error) {
+// submitter goroutines at the accelerated window period. A checkpoint
+// path turns on the engine's own auto-checkpoint cadence; resume
+// restores the previous snapshot first (a missing file is a first boot,
+// not an error).
+func runWall(cfg serve.Config, ws []dalia.Window, nSessions int, seconds, rate float64, checkpoint string, resume bool, verbose bool) (report, error) {
 	cfg.FlushSeconds = cfg.System.PeriodSeconds / rate / 4
+	cfg.CheckpointPath = checkpoint
+	// Read before Open so the pump's first auto-checkpoint of the empty
+	// engine cannot clobber the snapshot we are about to restore.
+	var resumeData []byte
+	if resume {
+		var err error
+		if resumeData, err = os.ReadFile(checkpoint); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				return report{}, fmt.Errorf("resume: %w", err)
+			}
+			resumeData = nil
+		}
+	}
 	e, err := serve.Open(cfg)
 	if err != nil {
 		return report{}, err
 	}
+	if resumeData != nil {
+		if err := e.Restore(resumeData); err != nil {
+			return report{}, fmt.Errorf("resume: %w", err)
+		}
+	}
 	sessions := make([]*serve.Session, nSessions)
 	for i := range sessions {
-		s, err := e.NewSession(fmt.Sprintf("u%04d", i))
+		id := fmt.Sprintf("u%04d", i)
+		if s := e.Session(id); s != nil {
+			sessions[i] = s
+			continue
+		}
+		s, err := e.NewSession(id)
 		if err != nil {
 			return report{}, err
 		}

@@ -57,6 +57,15 @@ func main() {
 	if *seed < 0 {
 		log.Fatalf("-seed %d is negative; seeds are non-negative", *seed)
 	}
+	if *gateBPM < 0 {
+		log.Fatalf("-gate %g is negative", *gateBPM)
+	}
+	if *hours <= 0 {
+		log.Fatalf("-hours %g must be positive", *hours)
+	}
+	if *dropout < 0 {
+		log.Fatalf("-dropout %g is negative", *dropout)
+	}
 	if *faultsName != "" {
 		sc, ok := faults.ByName(*faultsName)
 		if !ok {
@@ -105,9 +114,6 @@ func main() {
 
 	var policy *belief.Policy
 	if *useBelief || *gateBPM > 0 {
-		if *gateBPM < 0 {
-			log.Fatalf("-gate %g is negative", *gateBPM)
-		}
 		if policy, err = suite.BeliefPolicy(); err != nil {
 			log.Fatal(err)
 		}

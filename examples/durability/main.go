@@ -1,0 +1,193 @@
+// Durability: checkpoint a live multi-session streaming engine, crash
+// it, restore into a fresh process-equivalent engine and prove the
+// resumed run is bitwise identical to one that never crashed — then
+// migrate a session between engines with the same guarantee.
+//
+// The engine snapshot is one CRC-protected binary frame holding every
+// session's complete state: offload state machine, reselection
+// hysteresis, fault-stream position, belief posterior, counters and
+// undrained results. Damaged frames are rejected with typed errors
+// (ErrSnapshotCorrupt / ErrSnapshotStale) and degrade to a fresh
+// session, never a panic.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	chris "repro"
+)
+
+const (
+	nUsers  = 4
+	cycles  = 24
+	crashAt = 12 // checkpointed cycles before the simulated crash
+)
+
+// open builds a lockstep engine over the shared pipeline with the
+// worst-case chaos scenario, so the state being checkpointed includes
+// live fault-stream and hysteresis state.
+func open(pipe *chris.Pipeline, engine *chris.Engine, bound float64) (*chris.ServeEngine, *chris.ServeVirtualClock) {
+	clock := chris.NewServeVirtualClock()
+	worst := chris.WorstCaseScenario()
+	srv, err := chris.OpenServeEngine(chris.ServeConfig{
+		Engine:     engine,
+		System:     pipe.Sys,
+		Constraint: chris.MAEConstraint(bound),
+		Clock:      clock,
+		Faults:     &worst,
+		FaultSeed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv, clock
+}
+
+// sessions returns the engine's handles for the demo users, reusing
+// restored sessions and creating the ones that do not exist yet.
+func sessions(srv *chris.ServeEngine) []*chris.ServeSession {
+	users := make([]*chris.ServeSession, nUsers)
+	for i := range users {
+		id := fmt.Sprintf("user%d", i)
+		if s := srv.Session(id); s != nil {
+			users[i] = s
+			continue
+		}
+		s, err := srv.NewSession(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		users[i] = s
+	}
+	return users
+}
+
+// drive runs lockstep cycles [from, to), one window per user per cycle.
+func drive(srv *chris.ServeEngine, clock *chris.ServeVirtualClock,
+	users []*chris.ServeSession, ws []chris.Window, period float64, from, to int) {
+	for c := from; c < to; c++ {
+		for i, u := range users {
+			u.Submit(&ws[(i*cycles+c)%len(ws)], clock.Now())
+		}
+		srv.Tick()
+		clock.Advance(period)
+	}
+}
+
+// output is one session's drained results and final counters — the
+// payload the bitwise comparisons run over.
+type output struct {
+	Results []chris.ServeResult
+	Stats   chris.ServeStats
+}
+
+func collect(users []*chris.ServeSession) []output {
+	outs := make([]output, len(users))
+	for i, u := range users {
+		outs[i] = output{Results: u.Drain(), Stats: u.Stats()}
+	}
+	return outs
+}
+
+func main() {
+	log.SetFlags(0)
+
+	pipe, err := chris.BuildPipeline(chris.QuickPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := chris.NewEngine(pipe.Profiles, pipe.Classifier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := pipe.Profiles[0].MAE
+	for _, p := range pipe.Profiles {
+		if p.MAE < best {
+			best = p.MAE
+		}
+	}
+	bound := best * 1.3
+	ws := pipe.TestWindows
+
+	dir, err := os.MkdirTemp("", "chris-durability")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckPath := filepath.Join(dir, "engine.chss")
+
+	// Baseline: the run that never crashes.
+	srv, clock := open(pipe, engine, bound)
+	users := sessions(srv)
+	drive(srv, clock, users, ws, pipe.Sys.PeriodSeconds, 0, cycles)
+	baseline := collect(users)
+	srv.Close()
+
+	// Crash run: checkpoint after cycle crashAt, then abandon the engine
+	// mid-flight — the in-memory tail since the checkpoint is lost,
+	// exactly like a power cut.
+	srv, clock = open(pipe, engine, bound)
+	users = sessions(srv)
+	drive(srv, clock, users, ws, pipe.Sys.PeriodSeconds, 0, crashAt)
+	if err := srv.Checkpoint(ckPath); err != nil {
+		log.Fatal(err)
+	}
+	drive(srv, clock, users, ws, pipe.Sys.PeriodSeconds, crashAt, crashAt+5) // lost after the crash
+	fmt.Printf("checkpointed %d sessions after cycle %d, then crashed\n", nUsers, crashAt)
+
+	// Recovery: a fresh engine restores the snapshot — sessions, clock
+	// position and all — and replays the remaining cycles.
+	srv, clock = open(pipe, engine, bound)
+	if err := srv.RestoreFile(ckPath); err != nil {
+		log.Fatal(err)
+	}
+	users = sessions(srv)
+	drive(srv, clock, users, ws, pipe.Sys.PeriodSeconds, crashAt, cycles)
+	resumed := collect(users)
+	if !reflect.DeepEqual(resumed, baseline) {
+		log.Fatal("resumed run diverged from the uninterrupted baseline")
+	}
+	fmt.Printf("restored and replayed cycles %d..%d: bitwise identical to the uninterrupted run\n",
+		crashAt, cycles)
+
+	// Live migration: drain one session out of the old engine and attach
+	// it to a new one; the stream continues as if it never moved.
+	frame, err := srv.Detach("user2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Close()
+
+	dst, dstClock := open(pipe, engine, bound)
+	defer dst.Close()
+	dstClock.Advance(clock.Now())
+	moved, err := dst.Attach(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	moved.Submit(&ws[0], dstClock.Now())
+	dst.Tick()
+	st := moved.Stats()
+	fmt.Printf("migrated %s to a second engine: %d windows served, %d migration(s)\n",
+		moved.ID(), st.Finished(), st.Migrations)
+
+	// Corruption is rejected typed, and AttachOrFresh degrades to a
+	// clean session instead of propagating damage.
+	frame[len(frame)/2] ^= 0x01
+	if _, err := dst.Attach(frame); errors.Is(err, chris.ErrSnapshotCorrupt) {
+		fmt.Println("bit-flipped frame rejected: snapshot corrupt")
+	} else {
+		log.Fatalf("corrupt frame produced %v, want ErrSnapshotCorrupt", err)
+	}
+	fresh, err := dst.AttachOrFresh("user9", frame)
+	if fresh == nil || !errors.Is(err, chris.ErrSnapshotCorrupt) {
+		log.Fatal("AttachOrFresh did not degrade to a fresh session")
+	}
+	fmt.Printf("degraded %s to a fresh session (restore failures: %d)\n",
+		fresh.ID(), fresh.Stats().RestoreFailures)
+}

@@ -1,6 +1,7 @@
 package belief
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/dalia"
@@ -269,6 +270,51 @@ func (f *Filter) Posterior(dst []float64) []float64 {
 	copy(dst, f.post)
 	return dst
 }
+
+// Snapshot captures the filter's complete mutable state: the posterior
+// (copied into dst, grown if needed) and whether the predictive has been
+// rolled forward since the last observation. pred is a pure function of
+// post (Predict), and like/cum are per-call scratch, so these two values
+// are all a checkpoint needs — Restore on a fresh filter over the same
+// table continues the stream bitwise.
+func (f *Filter) Snapshot(dst []float64) ([]float64, bool) {
+	return f.Posterior(dst), f.predicted
+}
+
+// Restore installs a posterior previously captured with Snapshot. The
+// bits are adopted exactly — no renormalization, so a restored filter's
+// future output is bitwise identical to the uninterrupted filter's — but
+// hostile input is rejected first: wrong length, non-finite or negative
+// entries, or total mass off the simplex by more than restoreMassTol.
+// When predicted is set the predictive is regenerated from the restored
+// posterior (Predict is deterministic, so this too is exact).
+func (f *Filter) Restore(post []float64, predicted bool) error {
+	if len(post) != len(f.post) {
+		return fmt.Errorf("belief: restore length %d, filter has %d bins", len(post), len(f.post))
+	}
+	sum := 0.0
+	for i, v := range post {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("belief: restore bin %d holds %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > restoreMassTol {
+		return fmt.Errorf("belief: restore mass %v is off the simplex", sum)
+	}
+	copy(f.post, post)
+	f.predicted = false
+	if predicted {
+		f.Predict()
+	}
+	return nil
+}
+
+// restoreMassTol bounds how far a restored posterior's total mass may sit
+// from 1. Legitimate posteriors are normalized by construction, so the
+// tolerance only needs to absorb the summation order's rounding; anything
+// further off is a corrupt or forged snapshot.
+const restoreMassTol = 1e-9
 
 // interval computes the central credible interval over dist (not
 // necessarily normalized), reusing cum as scratch.

@@ -87,6 +87,19 @@ func NewEngine(profiles []Profile, classifier DifficultyRater) (*Engine, error) 
 // Profiles returns the stored configurations (ascending energy).
 func (e *Engine) Profiles() []Profile { return e.profiles }
 
+// ProfileByName returns the stored profile whose configuration name
+// matches. Configuration names are unique within a store, so the name is
+// a stable handle for checkpoint restore: a snapshot records the active
+// configuration by name and this lookup rebinds it.
+func (e *Engine) ProfileByName(name string) (Profile, bool) {
+	for i := range e.profiles {
+		if e.profiles[i].Name() == name {
+			return e.profiles[i], true
+		}
+	}
+	return Profile{}, false
+}
+
 // SelectConfig performs the constraint-dependent configuration selection
 // of §III-B1: hybrid configurations are filtered out when the BLE link is
 // down, then a single linear pass over the energy-sorted store finds the

@@ -1,0 +1,90 @@
+package faults
+
+// CorruptKind selects one way a snapshot file can be damaged on disk.
+// The three kinds model the real failure modes of the checkpoint path:
+// a crash mid-write leaves a short file (truncation), a crash between
+// page flushes leaves a zeroed tail (torn write), and media decay flips
+// individual bits. Durability tests drive all three through the seeded
+// Rand stream, so every injected corruption is replayable.
+type CorruptKind int
+
+const (
+	// CorruptTruncate cuts the blob at a random offset.
+	CorruptTruncate CorruptKind = iota
+	// CorruptTornWrite keeps the length but zeroes a random tail — the
+	// shape of a write that crashed between the header page and the rest.
+	CorruptTornWrite
+	// CorruptBitFlip flips one to three random bits in place.
+	CorruptBitFlip
+)
+
+// CorruptKinds lists every kind, for table tests.
+func CorruptKinds() []CorruptKind {
+	return []CorruptKind{CorruptTruncate, CorruptTornWrite, CorruptBitFlip}
+}
+
+// String names the kind.
+func (k CorruptKind) String() string {
+	switch k {
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptTornWrite:
+		return "torn-write"
+	case CorruptBitFlip:
+		return "bit-flip"
+	default:
+		return "unknown"
+	}
+}
+
+// Corrupt returns a damaged copy of data. The input is never modified.
+// The damage site comes from rng, so a given (seed, position) always
+// produces the same corruption; the result is guaranteed to differ from
+// the input whenever the input is non-empty. An empty input comes back
+// empty — there is nothing to damage.
+func Corrupt(data []byte, kind CorruptKind, rng *Rand) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	switch kind {
+	case CorruptTruncate:
+		// Keep [0, len): always strictly shorter than the input.
+		return out[:int(rng.Uint64()%uint64(len(out)))]
+	case CorruptTornWrite:
+		// Zero [cut, len); a cut at len-1 still clears one byte. Force the
+		// cleared tail to actually change the blob: a tail that was already
+		// zero moves the cut back until a nonzero byte is covered (an
+		// all-zero blob cannot happen — callers corrupt CHSS frames, whose
+		// header starts with magic bytes).
+		cut := int(rng.Uint64() % uint64(len(out)))
+		for cut > 0 && allZero(out[cut:]) {
+			cut--
+		}
+		for i := cut; i < len(out); i++ {
+			out[i] = 0
+		}
+		return out
+	case CorruptBitFlip:
+		// An odd flip count cannot cancel to the identity even when two
+		// draws land on the same bit.
+		flips := 1 + 2*int(rng.Uint64()%2)
+		for i := 0; i < flips; i++ {
+			pos := rng.Uint64() % uint64(len(out)*8)
+			out[pos/8] ^= 1 << (pos % 8)
+		}
+		return out
+	default:
+		return out
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

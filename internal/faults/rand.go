@@ -22,6 +22,17 @@ func NewRand(seed uint64) *Rand {
 // derived seed).
 func (r *Rand) Seed() uint64 { return r.seed }
 
+// State returns the stream's current position. Together with Seed it is
+// the complete mutable state of a Rand: NewRand(Seed()) followed by
+// Restore(State()) reproduces the stream's future draws bitwise, which is
+// what lets a checkpoint capture a fault stream mid-flight.
+func (r *Rand) State() uint64 { return r.state }
+
+// Restore rewinds or fast-forwards the stream to a position previously
+// captured with State. The seed is untouched, so forks derived after a
+// Restore are identical to forks derived before it.
+func (r *Rand) Restore(state uint64) { r.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits (splitmix64).
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

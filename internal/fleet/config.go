@@ -363,14 +363,26 @@ type Config struct {
 	// Resume continues from Checkpoint's partial file when present (and
 	// geometry-compatible); absent, the run starts fresh.
 	Resume bool
+	// SnapshotDays, when positive alongside a Checkpoint, segments each
+	// user's simulation at this cadence (in simulated days) and persists
+	// the user's mid-day state as a sidecar snapshot
+	// (<Checkpoint>.state/u<id>.chss) at every boundary. A resumed run
+	// then continues in-flight users from their last segment — bitwise
+	// identical to simulating them in one piece — instead of re-running
+	// their whole horizon. Corrupt or stale sidecars degrade
+	// deterministically to a fresh full re-simulation of that user. The
+	// knob is excluded from the config hash because segmentation never
+	// changes results.
+	SnapshotDays float64
 	// OnUser, when set, receives every simulated user's result. It is
 	// called concurrently from worker goroutines and must lock its own
 	// state; users re-ingested from a resumed checkpoint are not
 	// re-simulated and do not trigger it.
 	OnUser func(*UserResult)
 	// Interrupt, when set, is polled with the completed-user count after
-	// each simulated user; returning true checkpoints and aborts the run
-	// with ErrInterrupted (the kill switch the resume tests use).
+	// each simulated user — and, when SnapshotDays is active, after each
+	// persisted day segment; returning true checkpoints and aborts the
+	// run with ErrInterrupted (the kill switch the resume tests use).
 	Interrupt func(done int) bool
 }
 
@@ -399,6 +411,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("fleet: Workers %d must be non-negative", c.Workers)
 	case c.Resume && c.Checkpoint == "":
 		return fmt.Errorf("fleet: Resume requires a Checkpoint path")
+	case !isFinite(c.SnapshotDays) || c.SnapshotDays < 0:
+		return fmt.Errorf("fleet: SnapshotDays %v must be non-negative and finite", c.SnapshotDays)
+	case c.SnapshotDays > 0 && c.Checkpoint == "":
+		return fmt.Errorf("fleet: SnapshotDays requires a Checkpoint path")
 	}
 	if err := c.Mix.Validate(); err != nil {
 		return err
@@ -416,6 +432,13 @@ func (c *Config) Validate() error {
 // embeds it in a column name, so resuming under a changed configuration
 // fails reccache's geometry check instead of silently mixing two runs.
 func (c *Config) hash() string {
+	return strconv.FormatUint(c.hash64(), 16)
+}
+
+// hash64 is the raw fingerprint the sidecar state snapshots embed as
+// their CHSS config hash. Workers, callbacks and SnapshotDays are
+// deliberately absent: none of them can change the summary.
+func (c *Config) hash64() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "u=%d d=%g s=%d mix=%s", c.Users, c.Days, c.Seed, c.Mix.String())
 	p := c.Population
@@ -428,7 +451,7 @@ func (c *Config) hash() string {
 	if c.Belief.Enabled {
 		fmt.Fprintf(h, " belief=%v,%g,%g", c.Belief.Smooth, c.Belief.GateBPM, c.Belief.Mass)
 	}
-	return strconv.FormatUint(h.Sum64(), 16)
+	return h.Sum64()
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -180,6 +180,149 @@ func TestResumeRejectsChangedConfig(t *testing.T) {
 	}
 }
 
+// snapConfig is testConfig with mid-day sidecar snapshots on: four
+// segments per simulated user, one worker so the interrupt point is
+// deterministic.
+func snapConfig(ck string) Config {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Checkpoint = ck
+	cfg.SnapshotDays = cfg.Days / 4
+	return cfg
+}
+
+// sidecars lists the live mid-day snapshot files under ck's state dir.
+func sidecars(t *testing.T, ck string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(ck+".state", "u*.chss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// interruptMidDay runs snapConfig(ck) with an interrupt that fires on the
+// 10th poll — mid-way through a user's day, between sidecar writes — and
+// returns the interrupted user's sidecar paths.
+func interruptMidDay(t *testing.T, ck string) []string {
+	t.Helper()
+	cfg := snapConfig(ck)
+	calls := 0
+	cfg.Interrupt = func(done int) bool { calls++; return calls >= 10 }
+	if _, err := Run(cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	live := sidecars(t, ck)
+	if len(live) == 0 {
+		t.Fatal("mid-day interrupt left no sidecar snapshot")
+	}
+	return live
+}
+
+// TestSnapshotMidDayResume pins the fleet half of the durability
+// tentpole: a run interrupted mid-way through a user's simulated day
+// resumes from that user's sidecar snapshot and finishes with a summary
+// byte-identical to an uninterrupted run's, and neither path leaves the
+// state directory behind.
+func TestSnapshotMidDayResume(t *testing.T) {
+	base, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := mustJSON(t, base)
+	dir := t.TempDir()
+
+	// Segmented but uninterrupted: byte-identical, state dir cleaned up.
+	seg := snapConfig(filepath.Join(dir, "seg.rec"))
+	sum, err := Run(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, sum); string(got) != string(baseJSON) {
+		t.Fatal("segmented summary differs from monolithic run")
+	}
+	if _, err := os.Stat(seg.Checkpoint + ".state"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("finished run left the state dir behind: %v", err)
+	}
+
+	// Interrupt mid-day, then resume from the sidecar.
+	ck := filepath.Join(dir, "fleet.rec")
+	interruptMidDay(t, ck)
+	res := snapConfig(ck)
+	res.Resume = true
+	sum, err = Run(res)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got := mustJSON(t, sum); string(got) != string(baseJSON) {
+		t.Fatal("mid-day resumed summary differs from uninterrupted run")
+	}
+	if _, err := os.Stat(ck + ".state"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resumed run left the state dir behind: %v", err)
+	}
+}
+
+// TestSnapshotCorruptSidecarDegrades pins deterministic degradation: a
+// truncated, bit-flipped or garbage sidecar is rejected by the snapshot
+// codec and the affected user silently re-simulates from zero, so the
+// resumed summary still matches the uninterrupted run byte for byte.
+func TestSnapshotCorruptSidecarDegrades(t *testing.T) {
+	base, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := mustJSON(t, base)
+
+	corrupt := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bitflip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"garbage", func([]byte) []byte { return []byte("not a snapshot") }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := filepath.Join(t.TempDir(), "fleet.rec")
+			for _, path := range interruptMidDay(t, ck) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.mut(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res := snapConfig(ck)
+			res.Resume = true
+			sum, err := Run(res)
+			if err != nil {
+				t.Fatalf("resume over %s sidecar: %v", tc.name, err)
+			}
+			if got := mustJSON(t, sum); string(got) != string(baseJSON) {
+				t.Fatalf("%s sidecar perturbed the resumed summary", tc.name)
+			}
+		})
+	}
+}
+
+// TestSnapshotDaysValidation pins the knob's guard rails.
+func TestSnapshotDaysValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotDays = 0.005
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("SnapshotDays without Checkpoint validated")
+	}
+	cfg.Checkpoint = "x.rec"
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid snapshot config rejected: %v", err)
+	}
+	cfg.SnapshotDays = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative SnapshotDays validated")
+	}
+}
+
 // TestResumeWithoutPartialStartsFresh covers the first night of a
 // checkpointed cron job: -resume with no partial file behaves like a
 // fresh run rather than failing.

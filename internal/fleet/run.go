@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -74,6 +76,24 @@ func (f *Fleet) Run() (*Summary, error) {
 		workers = cfg.Users
 	}
 
+	// stateDir holds the per-user mid-day sidecar snapshots (u<id>.chss)
+	// that let a resumed run continue in-flight users from their last
+	// persisted segment instead of re-simulating them from zero. A fresh
+	// (non-Resume) run clears any leftovers so a stale sidecar can never
+	// outlive the checkpoint it belongs to.
+	stateDir := ""
+	if cfg.Checkpoint != "" && cfg.SnapshotDays > 0 {
+		stateDir = cfg.Checkpoint + ".state"
+		if !cfg.Resume {
+			if err := os.RemoveAll(stateDir); err != nil {
+				return nil, fmt.Errorf("fleet: clearing state dir: %w", err)
+			}
+		}
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: state dir: %w", err)
+		}
+	}
+
 	agg := NewAgg(len(cfg.Mix))
 	var writer *reccache.Writer
 	var header *core.RecordHeader
@@ -119,6 +139,20 @@ func (f *Fleet) Run() (*Summary, error) {
 		}
 		mu.Unlock()
 	}
+	// interrupted is the mid-user stop poll for segmented simulations: a
+	// worker checks it after each persisted day segment so an interrupt
+	// (or another worker's failure) parks the user on their sidecar
+	// instead of finishing the whole horizon first.
+	interrupted := func() bool {
+		if stop.Load() {
+			return true
+		}
+		if cfg.Interrupt != nil && cfg.Interrupt(int(done.Load())) {
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
 
 	locals := make([]*Agg, workers)
 	var wg sync.WaitGroup
@@ -133,7 +167,15 @@ func (f *Fleet) Run() (*Summary, error) {
 				if id >= cfg.Users {
 					return
 				}
-				res, err := f.SimulateUser(id)
+				statePath := ""
+				if stateDir != "" {
+					statePath = filepath.Join(stateDir, "u"+strconv.Itoa(id)+".chss")
+				}
+				res, err := f.simulateUser(id, statePath, interrupted)
+				if errors.Is(err, errUserInterrupted) {
+					stop.Store(true)
+					return
+				}
 				if err != nil {
 					fail(err)
 					return
@@ -189,6 +231,13 @@ func (f *Fleet) Run() (*Summary, error) {
 	if writer != nil {
 		if err := writer.Finalize(); err != nil {
 			return nil, fmt.Errorf("fleet: checkpoint finalize: %w", err)
+		}
+	}
+	if stateDir != "" {
+		// Every user completed, so no sidecar is live: a finished run
+		// leaves only the published checkpoint behind.
+		if err := os.RemoveAll(stateDir); err != nil {
+			return nil, fmt.Errorf("fleet: removing state dir: %w", err)
 		}
 	}
 	return f.buildSummary(agg), nil

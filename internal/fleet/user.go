@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 
 	"repro/internal/belief"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/hw/power"
 	"repro/internal/models"
 	"repro/internal/models/rf"
+	"repro/internal/reccache"
 	"repro/internal/sim"
 )
 
@@ -348,14 +351,58 @@ func (f *Fleet) SimConfig(u *User, battery *power.Battery) sim.Config {
 // exactly this per user — the returned result is bitwise identical to the
 // user's slice of a whole fleet run, regardless of worker count.
 func (f *Fleet) SimulateUser(id int) (*UserResult, error) {
+	return f.simulateUser(id, "", nil)
+}
+
+// errUserInterrupted signals that a segmented simulation observed the
+// run's stop condition mid-day: the user's sidecar snapshot is durable on
+// disk and no metric row may be written for them yet.
+var errUserInterrupted = errors.New("fleet: user interrupted mid-day")
+
+// simulateUser runs one user's simulation, segmented at SnapshotDays
+// boundaries when statePath is non-empty: each boundary persists the
+// sim.State as an atomic sidecar snapshot, resumes pick the sidecar up
+// and continue mid-day, and segmentation is bitwise invisible in the
+// finished result (the sim package's segmentation invariant). A corrupt,
+// stale or unreadable sidecar degrades deterministically to a fresh full
+// re-simulation of the user. interrupted is polled after each persisted
+// segment; a true return abandons the user with errUserInterrupted.
+func (f *Fleet) simulateUser(id int, statePath string, interrupted func() bool) (*UserResult, error) {
 	u, err := f.BuildUser(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(f.SimConfig(u, power.NewLiIon370()))
-	if err != nil {
-		return nil, fmt.Errorf("fleet: user %d simulation: %w", id, err)
+	scfg := f.SimConfig(u, power.NewLiIon370())
+	var st sim.State
+	if statePath == "" || f.cfg.SnapshotDays <= 0 {
+		if err := sim.RunState(scfg, &st, 0); err != nil {
+			return nil, fmt.Errorf("fleet: user %d simulation: %w", id, err)
+		}
+	} else {
+		if data, rerr := os.ReadFile(statePath); rerr == nil {
+			if dec, derr := sim.DecodeState(data, f.cfg.hash64()); derr == nil {
+				st = *dec
+			}
+		}
+		seg := f.cfg.SnapshotDays * daySeconds
+		for !st.Done {
+			if err := sim.RunState(scfg, &st, st.T+seg); err != nil {
+				return nil, fmt.Errorf("fleet: user %d simulation: %w", id, err)
+			}
+			if st.Done {
+				break
+			}
+			if err := reccache.WriteFileAtomic(statePath, sim.EncodeState(&st, f.cfg.hash64())); err != nil {
+				return nil, fmt.Errorf("fleet: user %d snapshot: %w", id, err)
+			}
+			if interrupted != nil && interrupted() {
+				return nil, errUserInterrupted
+			}
+		}
+		// Completed: the checkpoint metric row supersedes the sidecar.
+		os.Remove(statePath)
 	}
+	res := st.Res
 	out := &UserResult{ID: id, Cohort: u.Cohort, Relaxed: u.Relaxed, Result: res}
 	userMetrics(&res, u, &out.Metrics)
 	return out, nil

@@ -34,6 +34,11 @@ func (c *Channel) SetParams(p faults.ChannelParams) { c.Params = p }
 // state.
 func (c *Channel) Bad() bool { return c.bad }
 
+// SetBad forces the chain into (or out of) the bad state. It exists for
+// checkpoint restore: Params and the bad flag are the channel's complete
+// state, so restoring both resumes the fading process bitwise.
+func (c *Channel) SetBad(bad bool) { c.bad = bad }
+
 // PacketLost draws one packet outcome and advances the chain: the loss
 // draw uses the current state's probability, then the state transitions.
 func (c *Channel) PacketLost(rng *faults.Rand) bool {

@@ -1,6 +1,9 @@
 package power
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Converter models the HWatch's TPS63031 buck-boost converter: every joule
 // delivered to the load costs 1/Efficiency joules from the battery.
@@ -60,6 +63,18 @@ func (b *Battery) Drain(e Energy) error {
 
 // Recharge restores the battery to full.
 func (b *Battery) Recharge() { b.remaining = b.Capacity }
+
+// Restore sets the remaining charge to a value previously captured with
+// Remaining — the battery half of resuming a checkpointed simulation.
+// The charge must be finite and within [0, Capacity].
+func (b *Battery) Restore(remaining Energy) error {
+	if math.IsNaN(float64(remaining)) || math.IsInf(float64(remaining), 0) ||
+		remaining < 0 || remaining > b.Capacity {
+		return fmt.Errorf("power: restore charge %v outside [0, %v]", remaining, b.Capacity)
+	}
+	b.remaining = remaining
+	return nil
+}
 
 // LifetimeHours projects the battery life under a constant average power
 // draw (battery side).

@@ -1,0 +1,33 @@
+package reccache
+
+import "os"
+
+// WriteFileAtomic publishes data at path with the package's partial-file
+// discipline: bytes land in PartialPath(path), are fsynced, and only then
+// rename onto path. Readers therefore see either the previous complete
+// file or the new complete file — never a torn write — and a crash at any
+// instant leaves at worst a stale .partial alongside an intact published
+// file. This is the same publish step Writer.Finalize performs, extracted
+// for single-blob consumers (serve checkpoints, fleet session snapshots).
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := PartialPath(path)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

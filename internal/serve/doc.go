@@ -68,4 +68,29 @@
 // a wall-mode guard. With a WallClock the identical machinery becomes a
 // live server (cmd/chrisserve): a pump goroutine drains mailboxes every
 // FlushSeconds and a watchdog guards progress.
+//
+// # Durability and migration
+//
+// Snapshot serializes the complete per-session state — offload state
+// machine, hysteresis streaks, reconnect holdoff, rng position, belief
+// posterior, counters and undrained results — as one CRC-protected CHSS
+// frame bound to ConfigHash; Checkpoint persists it with the atomic
+// partial-file+rename discipline (wall mode checkpoints itself every
+// CheckpointSeconds when CheckpointPath is set). Restore rebuilds every
+// session inside a freshly opened engine and, under a VirtualClock,
+// advances the clock to the checkpoint instant, so a crashed run resumed
+// from its last quiesced checkpoint is byte-identical to one that never
+// stopped (TestCheckpointResumeBitwise). Queued mailbox windows are
+// deliberately not captured: a crash loses in-flight work, exactly as a
+// real device does.
+//
+// Detach and Attach move one drained session between engines as a
+// standalone frame; the migrated stream continues bitwise as if it never
+// moved (TestMigrationBitwise). Damaged frames fail typed —
+// ErrSnapshotCorrupt for broken bytes, ErrSnapshotStale for intact
+// frames from another configuration or version — and AttachOrFresh
+// degrades deterministically to a fresh session with a uniform belief
+// prior, recording the failure in SessionStats. The FuzzSnapshot target
+// pins the codec: any input is either rejected typed or restores to a
+// state that re-encodes byte-identically.
 package serve

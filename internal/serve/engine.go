@@ -85,6 +85,20 @@ type Config struct {
 	// inference chunks (default GOMAXPROCS).
 	Workers int
 
+	// CheckpointPath, when non-empty, turns on crash durability: the
+	// engine persists a complete state snapshot (every session's offload
+	// machine, hysteresis, belief posterior, counters and undrained
+	// results) to this path with the atomic partial-file+rename
+	// discipline. In wall mode the pump checkpoints every
+	// CheckpointSeconds; in lockstep mode the driver calls Checkpoint
+	// explicitly (typically at quiesce, so resume has no holes). A failed
+	// checkpoint write fails the engine loudly — durability is never
+	// silently off.
+	CheckpointPath string
+	// CheckpointSeconds is the wall-mode checkpoint cadence
+	// (default 1 s). Ignored in lockstep mode.
+	CheckpointSeconds float64
+
 	// Belief, when non-nil, runs a per-session temporal belief filter over
 	// each stream: estimates are fused into a posterior over HR bins,
 	// optionally smoothed (Policy.Smooth) and offloads demoted when the
@@ -185,6 +199,12 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("serve: Workers %d < 1", cfg.Workers)
+	}
+	if cfg.CheckpointSeconds == 0 {
+		cfg.CheckpointSeconds = 1
+	}
+	if cfg.CheckpointSeconds < 0 {
+		return nil, fmt.Errorf("serve: CheckpointSeconds %g < 0", cfg.CheckpointSeconds)
 	}
 	proto := cfg.Protocol
 	if proto == (sim.Protocol{}) {
@@ -524,12 +544,15 @@ func (e *Engine) pump() {
 	defer close(e.pumpDone)
 	tick := time.NewTicker(time.Duration(e.cfg.FlushSeconds * float64(time.Second)))
 	defer tick.Stop()
+	lastCk := time.Now()
+	ckInterval := time.Duration(e.cfg.CheckpointSeconds * float64(time.Second))
 	for {
 		select {
 		case <-e.stopCh:
 			for e.pending.Load() > 0 {
 				e.runCycle()
 			}
+			e.maybeCheckpoint(&lastCk, 0)
 			return
 		case <-e.failedCh:
 			return
@@ -537,7 +560,22 @@ func (e *Engine) pump() {
 		case <-tick.C:
 		}
 		e.runCycle()
+		e.maybeCheckpoint(&lastCk, ckInterval)
 	}
+}
+
+// maybeCheckpoint persists a snapshot when durability is on and the
+// cadence elapsed. A write failure fails the engine: a server that thinks
+// it is durable but is not must not keep running silently.
+func (e *Engine) maybeCheckpoint(last *time.Time, every time.Duration) {
+	if e.cfg.CheckpointPath == "" || time.Since(*last) < every {
+		return
+	}
+	if err := e.Checkpoint(e.cfg.CheckpointPath); err != nil {
+		e.fail(fmt.Errorf("serve: checkpoint: %w", err))
+		return
+	}
+	*last = time.Now()
 }
 
 // watchdog fails the engine loudly when windows are pending but the

@@ -125,6 +125,13 @@ type SessionStats struct {
 	// Supervision.
 	Restarts     uint64
 	Reselections uint64
+	// Durability. Migrations counts how many times this session's state
+	// was attached from a Detach frame; RestoreFailures counts restore
+	// attempts that degraded to a fresh session (corrupt or stale
+	// snapshot), with RestoreError holding the last typed failure.
+	Migrations      uint64
+	RestoreFailures uint64
+	RestoreError    string
 	// Energy accounting (watch radio + phone side).
 	RadioEnergy      power.Energy
 	RetransmitEnergy power.Energy

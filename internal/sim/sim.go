@@ -174,62 +174,65 @@ type Result struct {
 	BeliefCoverage  float64
 }
 
-// Run executes the scenario.
+// Run executes the scenario to completion. It is a thin wrapper over
+// RunState with a fresh State, so monolithic runs and segmented runs
+// share one code path (and therefore one numeric trajectory).
 func Run(cfg Config) (Result, error) {
-	switch {
-	case cfg.System == nil || cfg.Engine == nil:
-		return Result{}, fmt.Errorf("sim: System and Engine are required")
-	case len(cfg.Windows) == 0:
-		return Result{}, fmt.Errorf("sim: no windows to replay")
-	case cfg.DurationSeconds <= 0:
-		return Result{}, fmt.Errorf("sim: non-positive duration")
+	var st State
+	if err := RunState(cfg, &st, 0); err != nil {
+		return Result{}, err
 	}
-	// All link-state decisions flow through Link.ConnectedAt: attach the
-	// scenario trace for the duration of the run and restore the previous
-	// one (usually nil) afterwards.
-	if cfg.Trace != nil {
-		prev := cfg.System.Link.Trace()
-		cfg.System.Link.UseTrace(cfg.Trace)
-		defer cfg.System.Link.UseTrace(prev)
-	}
-	if cfg.Faults != nil {
-		return runFaults(cfg)
-	}
-	return runClean(cfg)
+	return st.Res, nil
 }
 
 // runClean is the fault-free tick loop: lossless instant-acknowledged
 // transfers and immediate reselection on link transitions. Its numeric
 // behaviour is the bitwise baseline the fault path must reproduce when
 // the injected scenario is empty (see TestRunZeroFaultScenarioMatchesClean).
-func runClean(cfg Config) (Result, error) {
+// Loop carry lives in locals loaded from st at segment entry and stored
+// back at exit, so the arithmetic inside a window is identical whether
+// the run is monolithic or segmented.
+func runClean(cfg Config, st *State, stop float64) error {
 	sys := cfg.System
 	period := sys.PeriodSeconds
 
-	var res Result
-	var absErrSum float64
-	busyUntil := 0.0
-	lastLink := sys.Link.ConnectedAt(0)
-	current, err := cfg.Engine.SelectConfig(lastLink, cfg.Constraint)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
-	}
-	res.ActiveConfig = current.Name()
-	var bs *beliefState
-	if cfg.Belief != nil {
-		if bs, err = newBeliefState(&cfg); err != nil {
-			return Result{}, err
+	res := st.Res
+	absErrSum := st.AbsErrSum
+	busyUntil := st.BusyUntil
+	var lastLink bool
+	var current core.Profile
+	var err error
+	if st.Started {
+		lastLink = st.LastLink
+		var ok bool
+		if current, ok = cfg.Engine.ProfileByName(st.ActiveConfig); !ok {
+			return fmt.Errorf("sim: resume: configuration %q not in engine", st.ActiveConfig)
 		}
+	} else {
+		lastLink = sys.Link.ConnectedAt(0)
+		if current, err = cfg.Engine.SelectConfig(lastLink, cfg.Constraint); err != nil {
+			return fmt.Errorf("sim: initial selection: %w", err)
+		}
+		res.ActiveConfig = current.Name()
+	}
+	bs, err := restoreBelief(&cfg, st)
+	if err != nil {
+		return err
+	}
+	wi := st.WI
+	save := func(tNow float64) {
+		st.captureCommon(&cfg, tNow, wi, busyUntil, absErrSum, 0, &res, bs)
+		st.LastLink = lastLink
 	}
 
-	wi := 0
-	for t := 0.0; t < cfg.DurationSeconds; t += period {
+	t := st.T
+	for ; t < stop; t += period {
 		res.SimulatedSeconds = t + period
 		up := sys.Link.ConnectedAt(t)
 		if up != lastLink {
 			next, err := cfg.Engine.SelectConfig(up, cfg.Constraint)
 			if err != nil {
-				return Result{}, fmt.Errorf("sim: re-selection at t=%.1f: %w", t, err)
+				return fmt.Errorf("sim: re-selection at t=%.1f: %w", t, err)
 			}
 			current = next
 			res.ActiveConfig = current.Name()
@@ -307,23 +310,17 @@ func runClean(cfg Config) (Result, error) {
 			res.BatteryDrain += drain
 			if err := cfg.Battery.Drain(drain); err != nil {
 				res.BatteryExhausted = true
-				res.FinalSoC = cfg.Battery.SoC()
-				if bs != nil {
-					bs.fold(&res)
-				}
-				res.finish(absErrSum, 0)
-				return res, nil
+				save(t)
+				st.finishRun(&cfg, bs)
+				return nil
 			}
 		}
 	}
-	if cfg.Battery != nil {
-		res.FinalSoC = cfg.Battery.SoC()
+	save(t)
+	if stop >= cfg.DurationSeconds {
+		st.finishRun(&cfg, bs)
 	}
-	if bs != nil {
-		bs.fold(&res)
-	}
-	res.finish(absErrSum, 0)
-	return res, nil
+	return nil
 }
 
 // chargeSkippedIdle closes the idle-accounting gap of skipped windows:
@@ -347,8 +344,11 @@ func chargeSkippedIdle(res *Result, sys *hw.System, t, busyUntil, period float64
 // windows degrade gracefully to the watch-side fallback model, and
 // reselection moves behind hysteresis so link blips cannot thrash the
 // engine. With an empty scenario every branch below reduces to the exact
-// arithmetic of runClean.
-func runFaults(cfg Config) (Result, error) {
+// arithmetic of runClean. Loop carry — including the rng position, the
+// Gilbert–Elliott chain state, the reconnect holdoff and the hysteresis
+// streaks — is loaded from st at segment entry and stored back at exit,
+// keeping segmented runs bitwise-equal to monolithic ones.
+func runFaults(cfg Config, st *State, stop float64) error {
 	sys := cfg.System
 	period := sys.PeriodSeconds
 	proto := cfg.Protocol
@@ -360,33 +360,57 @@ func runFaults(cfg Config) (Result, error) {
 	rng := inj.Rand()
 	ch := &ble.Channel{}
 
-	var res Result
-	res.FaultScenario = inj.Scenario().Name
-	res.FaultSeed = inj.Seed()
-
-	var absErrSum, faultAbsErrSum float64
-	busyUntil := 0.0
-	linkDownUntil := 0.0 // reconnect holdoff after a supervision drop
+	res := st.Res
+	absErrSum := st.AbsErrSum
+	faultAbsErrSum := st.FaultAbsErrSum
+	busyUntil := st.BusyUntil
+	linkDownUntil := st.Proto.LinkDownUntil // reconnect holdoff after a supervision drop
 	rawUp := func(t float64) bool {
 		return t >= linkDownUntil && sys.Link.ConnectedAt(t) && !inj.ForcedDown(t)
 	}
 
-	engineUp := rawUp(0)
-	current, err := cfg.Engine.SelectConfig(engineUp, cfg.Constraint)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: initial selection: %w", err)
-	}
-	res.ActiveConfig = current.Name()
+	var engineUp bool
+	var current core.Profile
+	var err error
 	failStreak, goodStreak, cooldown := 0, 0, 0
-	var bs *beliefState
-	if cfg.Belief != nil {
-		if bs, err = newBeliefState(&cfg); err != nil {
-			return Result{}, err
+	if st.Started {
+		engineUp = st.Proto.EngineUp
+		failStreak, goodStreak, cooldown = st.Proto.FailStreak, st.Proto.GoodStreak, st.Proto.Cooldown
+		ch.SetBad(st.Proto.ChannelBad)
+		rng.Restore(st.Proto.RngState)
+		var ok bool
+		if current, ok = cfg.Engine.ProfileByName(st.ActiveConfig); !ok {
+			return fmt.Errorf("sim: resume: configuration %q not in engine", st.ActiveConfig)
+		}
+	} else {
+		res.FaultScenario = inj.Scenario().Name
+		res.FaultSeed = inj.Seed()
+		engineUp = rawUp(0)
+		if current, err = cfg.Engine.SelectConfig(engineUp, cfg.Constraint); err != nil {
+			return fmt.Errorf("sim: initial selection: %w", err)
+		}
+		res.ActiveConfig = current.Name()
+	}
+	bs, err := restoreBelief(&cfg, st)
+	if err != nil {
+		return err
+	}
+	wi := st.WI
+	save := func(tNow float64) {
+		st.captureCommon(&cfg, tNow, wi, busyUntil, absErrSum, faultAbsErrSum, &res, bs)
+		st.Proto = ProtoState{
+			EngineUp:      engineUp,
+			LinkDownUntil: linkDownUntil,
+			FailStreak:    failStreak,
+			GoodStreak:    goodStreak,
+			Cooldown:      cooldown,
+			ChannelBad:    ch.Bad(),
+			RngState:      rng.State(),
 		}
 	}
 
-	wi := 0
-	for t := 0.0; t < cfg.DurationSeconds; t += period {
+	t := st.T
+	for ; t < stop; t += period {
 		res.SimulatedSeconds = t + period
 		up := rawUp(t)
 		if !up {
@@ -522,7 +546,7 @@ func runFaults(cfg Config) (Result, error) {
 		} else if engineUp && failStreak >= proto.FailWindows {
 			next, err := cfg.Engine.SelectConfig(false, cfg.Constraint)
 			if err != nil {
-				return Result{}, fmt.Errorf("sim: degraded re-selection at t=%.1f: %w", t, err)
+				return fmt.Errorf("sim: degraded re-selection at t=%.1f: %w", t, err)
 			}
 			current = next
 			res.ActiveConfig = current.Name()
@@ -533,7 +557,7 @@ func runFaults(cfg Config) (Result, error) {
 		} else if !engineUp && goodStreak >= proto.RecoverWindows {
 			next, err := cfg.Engine.SelectConfig(true, cfg.Constraint)
 			if err != nil {
-				return Result{}, fmt.Errorf("sim: recovery re-selection at t=%.1f: %w", t, err)
+				return fmt.Errorf("sim: recovery re-selection at t=%.1f: %w", t, err)
 			}
 			current = next
 			res.ActiveConfig = current.Name()
@@ -554,23 +578,17 @@ func runFaults(cfg Config) (Result, error) {
 			res.BatteryDrain += drain
 			if err := cfg.Battery.Drain(drain); err != nil {
 				res.BatteryExhausted = true
-				res.FinalSoC = cfg.Battery.SoC()
-				if bs != nil {
-					bs.fold(&res)
-				}
-				res.finish(absErrSum, faultAbsErrSum)
-				return res, nil
+				save(t)
+				st.finishRun(&cfg, bs)
+				return nil
 			}
 		}
 	}
-	if cfg.Battery != nil {
-		res.FinalSoC = cfg.Battery.SoC()
+	save(t)
+	if stop >= cfg.DurationSeconds {
+		st.finishRun(&cfg, bs)
 	}
-	if bs != nil {
-		bs.fold(&res)
-	}
-	res.finish(absErrSum, faultAbsErrSum)
-	return res, nil
+	return nil
 }
 
 func (r *Result) finish(absErrSum, faultAbsErrSum float64) {

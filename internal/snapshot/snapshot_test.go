@@ -1,0 +1,158 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// frame builds a small reference frame exercising every field type.
+func frame(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter(KindServeEngine, 0xfeed)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U64(1<<63 + 12345)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.String("hello, CHSS")
+	w.F64s([]float64{0.25, 0.5, 0.25})
+	return w.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := frame(t)
+	r, err := Open(data, KindServeEngine, 0xfeed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U64(); got != 1<<63+12345 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.String(); got != "hello, CHSS" {
+		t.Errorf("String = %q", got)
+	}
+	vs := r.F64s()
+	if len(vs) != 3 || vs[0] != 0.25 || vs[1] != 0.5 || vs[2] != 0.25 {
+		t.Errorf("F64s = %v", vs)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestOpenRejections(t *testing.T) {
+	data := frame(t)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		kind Kind
+		hash uint64
+		want error
+	}{
+		{"wrong kind", nil, KindSimState, 0xfeed, ErrStale},
+		{"wrong hash", nil, KindServeEngine, 0xbeef, ErrStale},
+		{"version bump", func(b []byte) []byte { b[4]++; return b }, KindServeEngine, 0xfeed, ErrStale},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, KindServeEngine, 0xfeed, ErrCorrupt},
+		{"flipped payload bit", func(b []byte) []byte { b[headerSize] ^= 1; return b }, KindServeEngine, 0xfeed, ErrCorrupt},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }, KindServeEngine, 0xfeed, ErrCorrupt},
+		{"short", func([]byte) []byte { return []byte("CHS") }, KindServeEngine, 0xfeed, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), data...)
+		if tc.mut != nil {
+			b = tc.mut(b)
+		}
+		if _, err := Open(b, tc.kind, tc.hash); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCorruptionAlwaysRejected drives every faults corruption kind over
+// many seeds: a damaged frame must never open cleanly AND decode to the
+// original field values (bit flips may land in the payload of a frame
+// whose CRC then fails, so Open catching it is the common case; the
+// invariant is no silent acceptance of changed bytes).
+func TestCorruptionAlwaysRejected(t *testing.T) {
+	data := frame(t)
+	for _, kind := range faults.CorruptKinds() {
+		rng := faults.NewRand(99)
+		for i := 0; i < 200; i++ {
+			bad := faults.Corrupt(data, kind, rng)
+			if bytes.Equal(bad, data) {
+				t.Fatalf("%v: corruption %d left the frame unchanged", kind, i)
+			}
+			if _, err := Open(bad, KindServeEngine, 0xfeed); err == nil {
+				t.Fatalf("%v: corruption %d opened cleanly", kind, i)
+			}
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	w := NewWriter(KindSimState, 1)
+	w.U64(5)
+	w.U64(6)
+	data := w.Finish()
+	r, err := Open(data, KindSimState, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_ = r.U64()
+	if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Done with trailing bytes = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStickyTruncationError(t *testing.T) {
+	w := NewWriter(KindSimState, 1)
+	w.U8(1)
+	data := w.Finish()
+	r, err := Open(data, KindSimState, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_ = r.U8()
+	if got := r.U64(); got != 0 {
+		t.Errorf("overrun U64 = %d, want 0", got)
+	}
+	if s := r.String(); s != "" {
+		t.Errorf("overrun String = %q", s)
+	}
+	if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Done = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestNonCanonicalBoolRejected pins the canonical-encoding contract the
+// re-encode-identity fuzz property relies on.
+func TestNonCanonicalBoolRejected(t *testing.T) {
+	w := NewWriter(KindSimState, 1)
+	w.U8(2) // a bool slot holding 2
+	data := w.Finish()
+	r, err := Open(data, KindSimState, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_ = r.Bool()
+	if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Done = %v, want ErrCorrupt", err)
+	}
+}
